@@ -1,0 +1,61 @@
+// Command syncron-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	syncron-bench -list
+//	syncron-bench -exp fig12 -scale 0.5
+//	syncron-bench -all -scale 0.25
+//
+// Each experiment prints one or more aligned text tables with the same rows
+// and series as the corresponding paper artifact, plus a note recalling the
+// paper's headline numbers for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"syncron/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "", "experiment id (e.g. fig12, table7); see -list")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, e.Paper, e.Brief)
+		}
+	case *all:
+		for _, e := range exp.All() {
+			runOne(e, *scale)
+		}
+	case *id != "":
+		e, ok := exp.Get(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "syncron-bench: unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		runOne(e, *scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e *exp.Experiment, scale float64) {
+	start := time.Now()
+	tables := e.Run(scale)
+	for _, t := range tables {
+		fmt.Println(t.Format())
+	}
+	fmt.Printf("[%s completed in %v at scale %g]\n\n", e.ID, time.Since(start).Round(time.Millisecond), scale)
+}

@@ -1,0 +1,137 @@
+// Command syncron-sim runs a single workload on a single configuration and
+// prints a detailed report — the quickest way to poke at the simulator.
+//
+// Examples:
+//
+//	syncron-sim -workload stack -scheme syncron -cores 60
+//	syncron-sim -workload pr.wk -scheme hier -units 2 -scale 0.2
+//	syncron-sim -workload ts.air -scheme central -mem ddr4
+//	syncron-sim -workload lock -interval 200 -scheme syncron
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"syncron/internal/core"
+	"syncron/internal/exp"
+	"syncron/internal/mem"
+	"syncron/internal/sim"
+	"syncron/internal/workloads/ds"
+	"syncron/internal/workloads/graphs"
+	"syncron/internal/workloads/tseries"
+	"syncron/internal/workloads/ubench"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "stack", "workload: a data structure ("+strings.Join(ds.Names(), ", ")+"), app.graph (e.g. pr.wk), ts.air/ts.pow, or a primitive (lock, barrier, semaphore, condvar)")
+		scheme   = flag.String("scheme", "syncron", "central | hier | syncron | flat | ideal | mesi-lock | ttas | htl")
+		units    = flag.Int("units", 4, "NDP units")
+		cores    = flag.Int("cores", 0, "total client cores (default units*15)")
+		memTech  = flag.String("mem", "hbm", "hbm | hmc | ddr4")
+		linkNS   = flag.Int64("link-ns", 0, "inter-unit transfer latency in ns (default 40)")
+		scale    = flag.Float64("scale", 0.25, "workload scale factor")
+		ops      = flag.Int("ops", 40, "operations per core (data structures)")
+		interval = flag.Int64("interval", 200, "instructions between sync points (primitives)")
+		stSize   = flag.Int("st", 0, "SynCron ST entries (default 64)")
+		fairness = flag.Int("fairness", 0, "lock fairness threshold (0 = off)")
+		metis    = flag.Bool("metis", false, "use the METIS-like greedy graph partitioner")
+	)
+	flag.Parse()
+
+	spec := exp.Spec{
+		Backend:   *scheme,
+		Units:     *units,
+		Link:      sim.Time(*linkNS) * sim.Nanosecond,
+		STEntries: *stSize,
+		Fairness:  *fairness,
+	}
+	if *cores != 0 {
+		spec.Cores = *cores / *units
+	}
+	switch strings.ToLower(*memTech) {
+	case "hbm":
+		spec.Mem = mem.HBM
+	case "hmc":
+		spec.Mem = mem.HMC
+	case "ddr4":
+		spec.Mem = mem.DDR4
+	default:
+		fatal("unknown memory technology %q", *memTech)
+	}
+
+	res, kind := run(spec, *workload, *scale, *ops, *interval, *metis)
+	report(*workload, kind, spec, res)
+}
+
+func run(spec exp.Spec, workload string, scale float64, ops int, interval int64, metis bool) (exp.Result, string) {
+	// Primitive microbenchmarks.
+	for _, p := range ubench.Primitives() {
+		if workload == string(p) {
+			return exp.RunUbench(spec, p, interval, int(100*scale)+10), "primitive"
+		}
+	}
+	// Data structures.
+	for _, name := range ds.Names() {
+		if workload == name {
+			size := int(float64(ds.PaperSize(name)) * scale / 40)
+			if size < 32 {
+				size = 32
+			}
+			if name == "arraymap" {
+				size = 10
+			}
+			return exp.RunDS(spec, name, size, ops), "data structure"
+		}
+	}
+	// app.graph / ts.input combos.
+	parts := strings.SplitN(workload, ".", 2)
+	if len(parts) == 2 {
+		app, input := parts[0], parts[1]
+		if app == "ts" {
+			for _, in := range tseries.Inputs() {
+				if input == in {
+					return exp.RunTS(spec, input, scale), "time series"
+				}
+			}
+		}
+		for _, a := range graphs.Apps() {
+			if app == a {
+				for _, in := range graphs.Inputs() {
+					if input == in {
+						return exp.RunGraph(spec, exp.GraphRun{App: app, Input: input}, scale, metis), "graph application"
+					}
+				}
+			}
+		}
+	}
+	fatal("unknown workload %q", workload)
+	panic("unreachable")
+}
+
+func report(workload, kind string, spec exp.Spec, res exp.Result) {
+	fmt.Printf("workload        %s (%s)\n", workload, kind)
+	fmt.Printf("scheme          %s\n", spec.Backend)
+	fmt.Printf("makespan        %v\n", res.Makespan)
+	if res.Ops > 0 {
+		fmt.Printf("throughput      %.1f ops/ms (%.3f Mops/s)\n", res.OpsPerMs(), res.MopsPerSec())
+	}
+	fmt.Printf("energy          cache %.1f uJ, network %.1f uJ, memory %.1f uJ (total %.1f uJ)\n",
+		res.Energy.CachePJ/1e6, res.Energy.NetworkPJ/1e6, res.Energy.MemoryPJ/1e6, res.Energy.Total()/1e6)
+	fmt.Printf("data movement   %.1f KB inside units, %.1f KB across units\n",
+		float64(res.IntraB)/1024, float64(res.InterB)/1024)
+	if res.STMax > 0 || res.OverflowF > 0 {
+		fmt.Printf("ST occupancy    max %.1f%%, mean %.2f%%\n", res.STMax*100, res.STMean*100)
+		fmt.Printf("overflowed      %.2f%% of requests\n", res.OverflowF*100)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "syncron-sim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+var _ = core.OverflowIntegrated

@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(DefaultConfig())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if r := c.Access(0x103F, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line.
+	if r := c.Access(0x1040, false); r.Hit {
+		t.Fatal("next-line access hit")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	cfg := DefaultConfig() // 2-way, 128 sets
+	c := New(cfg)
+	nsets := uint64(cfg.SizeBytes / (LineSize * cfg.Ways))
+	a := uint64(0)
+	b := a + nsets*LineSize   // same set, different tag
+	d := a + 2*nsets*LineSize // same set, third tag
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Fatal("MRU or new line evicted")
+	}
+	if c.Contains(b) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	nsets := uint64(cfg.SizeBytes / (LineSize * cfg.Ways))
+	a := uint64(0x40)
+	c.Access(a, true) // dirty
+	c.Access(a+nsets*LineSize, false)
+	r := c.Access(a+2*nsets*LineSize, false) // evicts a (LRU, dirty)
+	if !r.Writeback {
+		t.Fatal("dirty eviction did not report writeback")
+	}
+	if r.VictimAddr/LineSize != a/LineSize {
+		t.Fatalf("victim %#x, want line of %#x", r.VictimAddr, a)
+	}
+	if c.Stats.Writebacks.Value() != 1 {
+		t.Fatalf("writebacks = %d", c.Stats.Writebacks.Value())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(0x80, true)
+	c.Access(0x100, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("Flush dropped %d dirty lines, want 1", dirty)
+	}
+	if c.Contains(0x80) || c.Contains(0x100) {
+		t.Fatal("lines survived flush")
+	}
+}
+
+// Property: Contains(addr) is true immediately after any access, and stats
+// counters match accesses.
+func TestAccessContainsProperty(t *testing.T) {
+	c := New(DefaultConfig())
+	n := 0
+	if err := quick.Check(func(addr uint64, write bool) bool {
+		addr %= 1 << 30
+		c.Access(addr, write)
+		n++
+		ok := c.Contains(addr)
+		total := c.Stats.Hits.Value() + c.Stats.Misses.Value()
+		return ok && total == uint64(n)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache never holds more lines than its capacity.
+func TestCapacityProperty(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, Ways: 2, HitCycles: 1}
+	c := New(cfg)
+	capacity := cfg.SizeBytes / LineSize
+	if err := quick.Check(func(addrs []uint64) bool {
+		resident := map[uint64]bool{}
+		for _, a := range addrs {
+			a %= 1 << 20
+			c.Access(a, false)
+		}
+		// Count resident lines by probing all touched lines.
+		for _, a := range addrs {
+			a %= 1 << 20
+			if c.Contains(a) {
+				resident[a/LineSize] = true
+			}
+		}
+		return len(resident) <= capacity
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	c.Access(0, false) // miss: 47 pJ
+	c.Access(0, false) // hit: 23 pJ
+	want := cfg.MissEnergyPJ + cfg.HitEnergyPJ
+	if got := c.Stats.EnergyPJ(cfg); got != want {
+		t.Fatalf("energy = %f, want %f", got, want)
+	}
+}

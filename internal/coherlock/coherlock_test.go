@@ -1,0 +1,91 @@
+package coherlock_test
+
+import (
+	"testing"
+
+	"syncron/internal/arch"
+	"syncron/internal/coherlock"
+	"syncron/internal/program"
+	"syncron/internal/sim"
+)
+
+func runLock(t *testing.T, alg coherlock.Algorithm, pinned []int, rounds int) (sim.Time, *coherlock.Backend) {
+	t.Helper()
+	b := coherlock.New(alg)
+	m := arch.NewMachine(arch.Config{Units: 2, CoresPerUnit: 14})
+	m.Backend = b
+	r := program.NewRunner(m)
+	lock := m.Alloc(0, 64)
+	for _, c := range pinned {
+		r.AddAt(c, func(ctx *program.Ctx) {
+			for k := 0; k < rounds; k++ {
+				ctx.Lock(lock)
+				ctx.Unlock(lock)
+				ctx.Compute(60)
+			}
+		})
+	}
+	return r.Run(), b
+}
+
+func TestMutualExclusionAllAlgorithms(t *testing.T) {
+	for _, alg := range []coherlock.Algorithm{coherlock.MESILock, coherlock.TTAS, coherlock.HTL} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			// The runner's checker panics on any violation.
+			end, _ := runLock(t, alg, []int{0, 1, 2, 14, 15}, 30)
+			if end <= 0 {
+				t.Fatal("no progress")
+			}
+		})
+	}
+}
+
+func TestContentionCollapses(t *testing.T) {
+	// Table 1's single-socket story: 14 threads must be far less efficient
+	// per-thread than 1 thread.
+	one, _ := runLock(t, coherlock.TTAS, []int{0}, 50)
+	all, _ := runLock(t, coherlock.TTAS, seq(0, 14), 50)
+	perOpOne := float64(one) / 50
+	perOpAll := float64(all) / (50 * 14)
+	if perOpAll < 1.5*perOpOne {
+		t.Fatalf("contended per-op time %.0f not much worse than solo %.0f", perOpAll, perOpOne)
+	}
+}
+
+func TestCrossSocketPenalty(t *testing.T) {
+	// Table 1's NUMA story: 2 threads on different sockets are slower than
+	// 2 threads on the same socket.
+	same, _ := runLock(t, coherlock.TTAS, []int{0, 1}, 50)
+	diff, _ := runLock(t, coherlock.TTAS, []int{0, 14}, 50)
+	if diff <= same {
+		t.Fatalf("cross-socket (%v) not slower than same-socket (%v)", diff, same)
+	}
+}
+
+func TestHTLBeatsTTASCrossSocket(t *testing.T) {
+	// HTL's local batching must reduce cross-socket handoffs when both
+	// sockets contend.
+	ttas, _ := runLock(t, coherlock.TTAS, append(seq(0, 7), seq(14, 7)...), 30)
+	htl, _ := runLock(t, coherlock.HTL, append(seq(0, 7), seq(14, 7)...), 30)
+	if htl >= ttas {
+		t.Fatalf("HTL (%v) not faster than TTAS (%v) under cross-socket contention", htl, ttas)
+	}
+}
+
+func TestSpinTrafficGrowsWithWaiters(t *testing.T) {
+	_, b2 := runLock(t, coherlock.MESILock, seq(0, 2), 20)
+	_, b8 := runLock(t, coherlock.MESILock, seq(0, 8), 20)
+	if b8.Space().Invalidations.Value() <= b2.Space().Invalidations.Value() {
+		t.Fatalf("invalidations did not grow with waiters: %d vs %d",
+			b8.Space().Invalidations.Value(), b2.Space().Invalidations.Value())
+	}
+}
+
+func seq(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import "syncron/internal/sim"
+
+// Barrier protocol (§4.1): two flavors.
+//
+//   - barrier_wait_within_unit: all participants are in one NDP unit; the
+//     local SE coordinates the barrier entirely locally.
+//   - barrier_wait_across_units: participants span units. When every client
+//     core of the system participates, SynCron uses the two-level scheme
+//     (each SE collects its unit's arrivals, then sends one aggregated
+//     barrier_wait_global; the master releases SEs with
+//     barrier_depart_global). With a subset of cores, local SEs redirect all
+//     messages to the master, which coordinates cores individually
+//     (one-level communication, as the paper chooses for ISA simplicity).
+
+// barrierWithin handles barrier_wait_within_unit.
+func (c *Coordinator) barrierWithin(t sim.Time, core int, addr uint64, n int, done func(sim.Time)) {
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			c.masterBarrierCoreArrive(pt, addr, n, holderRef{core: core, done: done})
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		ls, ok := local.localOf(pt, addr)
+		if !ok {
+			local.memEnter(addr)
+			master := c.masterNode(addr)
+			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+				c.masterBarrierCoreArrive(mt, addr, n, holderRef{core: core, done: done, relay: local})
+			})
+			return
+		}
+		ls.barWaiters = append(ls.barWaiters, pend{core: core, done: done})
+		if len(ls.barWaiters) >= n {
+			ws := ls.barWaiters
+			ls.barWaiters = nil
+			local.localDrop(pt, addr)
+			for _, w := range ws {
+				c.nodeToCore(pt, local, w.core, w.done)
+			}
+		}
+	})
+}
+
+// barrierAcross handles barrier_wait_across_units with n total participants.
+func (c *Coordinator) barrierAcross(t sim.Time, core int, addr uint64, n int, done func(sim.Time)) {
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			c.masterBarrierCoreArrive(pt, addr, n, holderRef{core: core, done: done})
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	twoLevel := n == c.m.NumCores()
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		master := c.masterNode(addr)
+		if !twoLevel {
+			// One-level: redirect to the master (costed as a relay hop).
+			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+				c.masterBarrierCoreArrive(mt, addr, n, holderRef{core: core, done: done, relay: local})
+			})
+			return
+		}
+		ls, ok := local.localOf(pt, addr)
+		if !ok {
+			local.memEnter(addr)
+			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+				c.masterBarrierCoreArrive(mt, addr, n, holderRef{core: core, done: done, relay: local})
+			})
+			return
+		}
+		ls.barWaiters = append(ls.barWaiters, pend{core: core, done: done})
+		if len(ls.barWaiters) >= c.m.Cfg.CoresPerUnit {
+			// Unit complete: one aggregated barrier_wait_global.
+			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+				c.masterBarrierNodeArrive(mt, addr, n, local)
+			})
+		}
+	})
+}
+
+// masterBarrierNodeArrive records an aggregated unit arrival.
+func (c *Coordinator) masterBarrierNodeArrive(t sim.Time, addr uint64, n int, from *node) {
+	ms := c.master(addr)
+	c.masterHold(t, ms)
+	if c.masterNode(addr).viaMemory(addr) {
+		c.overflowReqs++
+	}
+	ms.barNodes = append(ms.barNodes, from)
+	ms.barArrived += c.m.Cfg.CoresPerUnit
+	c.masterBarrierMaybeDepart(t, ms, addr, n)
+}
+
+// masterBarrierCoreArrive records a single core arrival at the master.
+func (c *Coordinator) masterBarrierCoreArrive(t sim.Time, addr uint64, n int, ref holderRef) {
+	ms := c.master(addr)
+	c.masterHold(t, ms)
+	if ref.relay != nil {
+		ms.overflowSEs[ref.relay] = true
+		c.masterNode(addr).memEnter(addr)
+	}
+	if c.masterNode(addr).viaMemory(addr) {
+		c.overflowReqs++
+	}
+	ms.barCores = append(ms.barCores, ref)
+	ms.barArrived++
+	c.masterBarrierMaybeDepart(t, ms, addr, n)
+}
+
+// masterBarrierMaybeDepart releases everyone once n arrivals are in.
+func (c *Coordinator) masterBarrierMaybeDepart(t sim.Time, ms *masterState, addr uint64, n int) {
+	if ms.barArrived < n {
+		return
+	}
+	nodes := ms.barNodes
+	cores := ms.barCores
+	ms.barNodes = nil
+	ms.barCores = nil
+	ms.barArrived = 0
+	master := c.masterNode(addr)
+	for _, nd := range nodes {
+		nd := nd
+		// barrier_depart_global, then local departure grants.
+		c.nodeToNode(t, master, nd, addr, func(lt sim.Time) {
+			ls := nd.locals[addr]
+			if ls == nil {
+				return
+			}
+			ws := ls.barWaiters
+			ls.barWaiters = nil
+			nd.localDrop(lt, addr)
+			for _, w := range ws {
+				c.nodeToCore(lt, nd, w.core, w.done)
+			}
+		})
+	}
+	for _, ref := range cores {
+		if ref.relay != nil && ref.relay != master {
+			ref := ref
+			c.nodeToNode(t, master, ref.relay, addr, func(rt sim.Time) {
+				c.nodeToCore(rt, ref.relay, ref.core, ref.done)
+			})
+		} else {
+			c.nodeToCore(t, master, ref.core, ref.done)
+		}
+	}
+	c.masterFree(t, ms)
+}

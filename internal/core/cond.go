@@ -1,0 +1,110 @@
+package core
+
+import "syncron/internal/sim"
+
+// Condition-variable protocol: a cond_wait message carries the associated
+// lock address (MessageInfo, Figure 5). The waiter's local SE first performs
+// the lock-release semantics on the associated lock, then registers the
+// waiter with the condition variable's master. A signal wakes the oldest
+// waiter, which must re-acquire the lock before its cond_wait completes —
+// the wakeup is therefore injected into the lock protocol at the waiter's
+// local SE.
+
+// condWait handles cond_wait(cond, lock).
+func (c *Coordinator) condWait(t sim.Time, core int, addr, lock uint64, done func(sim.Time)) {
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			// Release the lock at its own master, then park the waiter.
+			lm := c.masterNode(lock)
+			c.nodeToNode(pt, m, lm, lock, func(lt sim.Time) {
+				c.masterLockCoreRelease(lt, lock)
+			})
+			ms := c.master(addr)
+			c.masterHold(pt, ms)
+			ms.condQ = append(ms.condQ, condWaiter{core: core, lock: lock, done: done})
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	master := c.masterNode(addr)
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		// The SE releases the associated lock on the waiter's behalf.
+		c.lockReleaseAt(pt, local, core, lock)
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			ms := c.master(addr)
+			c.masterHold(mt, ms)
+			if c.masterNode(addr).viaMemory(addr) {
+				c.overflowReqs++
+			}
+			ms.condQ = append(ms.condQ, condWaiter{core: core, lock: lock, done: done, relay: local})
+		})
+	})
+}
+
+// condSignal wakes one waiter.
+func (c *Coordinator) condSignal(t sim.Time, core int, addr, lock uint64) {
+	c.condDeliver(t, core, addr, func(mt sim.Time, ms *masterState) {
+		if len(ms.condQ) == 0 {
+			c.masterFree(mt, ms)
+			return
+		}
+		w := ms.condQ[0]
+		ms.condQ = ms.condQ[1:]
+		c.condWake(mt, addr, w)
+		c.masterFree(mt, ms)
+	})
+}
+
+// condBroadcast wakes all waiters.
+func (c *Coordinator) condBroadcast(t sim.Time, core int, addr, lock uint64) {
+	c.condDeliver(t, core, addr, func(mt sim.Time, ms *masterState) {
+		ws := ms.condQ
+		ms.condQ = nil
+		for _, w := range ws {
+			c.condWake(mt, addr, w)
+		}
+		c.masterFree(mt, ms)
+	})
+}
+
+// condDeliver routes a signal/broadcast message to the master and runs act
+// there.
+func (c *Coordinator) condDeliver(t sim.Time, core int, addr uint64, act func(sim.Time, *masterState)) {
+	master := c.masterNode(addr)
+	if !c.hierarchical() {
+		c.coreToNode(t, core, master, addr, func(pt sim.Time) {
+			act(pt, c.master(addr))
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			act(mt, c.master(addr))
+		})
+	})
+}
+
+// condWake re-acquires the waiter's lock and completes its cond_wait when
+// the lock is granted.
+func (c *Coordinator) condWake(t sim.Time, addr uint64, w condWaiter) {
+	master := c.masterNode(addr)
+	if !c.hierarchical() {
+		// cond_grant travels to the lock's master as a per-core acquire.
+		lm := c.masterNode(w.lock)
+		c.nodeToNode(t, master, lm, w.lock, func(lt sim.Time) {
+			c.masterLockCoreAcquire(lt, w.core, w.lock, w.done, nil)
+		})
+		return
+	}
+	relay := w.relay
+	if relay == nil {
+		relay = c.nodes[c.m.UnitOf(w.core)]
+	}
+	// cond_grant_global to the waiter's local SE, which enqueues the waiter
+	// on the lock as a normal local acquire.
+	c.nodeToNode(t, master, relay, w.lock, func(rt sim.Time) {
+		c.lockEnqueueAt(rt, relay, w.core, w.lock, w.done)
+	})
+}

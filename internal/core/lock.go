@@ -1,0 +1,241 @@
+package core
+
+import "syncron/internal/sim"
+
+// Lock protocol (paper §3.2, Figure 4).
+//
+// Hierarchical mode: cores send local lock_acquire messages to their local
+// SE, which records them in the ST entry's local waiting list and sends one
+// aggregated global lock_acquire to the Master SE. The master grants the
+// lock SE-to-SE; each SE then serves its local waiters in sequence and sends
+// one aggregated global lock_release when no local requests remain.
+//
+// Flat/Central modes: every core request is a per-core message straight to
+// the master node. ST-overflowed local SEs degenerate to the same per-core
+// handling, relayed through the overflowed SE with overflow opcodes (§4.3.2).
+
+// lockAcquire is the entry point for a core's lock_acquire.
+func (c *Coordinator) lockAcquire(t sim.Time, core int, addr uint64, done func(sim.Time)) {
+	if ms, ok := c.vars[addr]; ok && ms.fallback {
+		c.fallbackLockAcquire(t, core, addr, done)
+		return
+	}
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			c.masterLockCoreAcquire(pt, core, addr, done, nil)
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		c.lockEnqueueAt(pt, local, core, addr, done)
+	})
+}
+
+// lockEnqueueAt runs the local-SE side of an acquire after message
+// processing at node local (also used by condition-variable wakeups).
+func (c *Coordinator) lockEnqueueAt(pt sim.Time, local *node, core int, addr uint64, done func(sim.Time)) {
+	master := c.masterNode(addr)
+	ls, ok := local.localOf(pt, addr)
+	if !ok {
+		// Local ST overflow: redirect to the master with overflow opcodes.
+		local.memEnter(addr)
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			c.masterLockCoreAcquire(mt, core, addr, done, local)
+		})
+		return
+	}
+	ls.waiters = append(ls.waiters, pend{core: core, done: done})
+	switch {
+	case ls.owning && !ls.holderActive:
+		c.grantNextLocal(pt, local, ls)
+	case !ls.owning && !ls.requested:
+		ls.requested = true
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			c.masterLockNodeAcquire(mt, local, addr)
+		})
+	}
+}
+
+// grantNextLocal hands the lock to the next core in the SE's local waiting
+// list (lock_grant_local).
+func (c *Coordinator) grantNextLocal(t sim.Time, local *node, ls *localState) {
+	w := ls.waiters[0]
+	ls.waiters = ls.waiters[1:]
+	ls.holderActive = true
+	ls.grants++
+	c.nodeToCore(t, local, w.core, w.done)
+}
+
+// lockRelease is the entry point for a core's lock_release.
+func (c *Coordinator) lockRelease(t sim.Time, core int, addr uint64) {
+	if ms, ok := c.vars[addr]; ok && ms.fallback {
+		c.fallbackLockRelease(t, core, addr)
+		return
+	}
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			c.masterLockCoreRelease(pt, addr)
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		c.lockReleaseAt(pt, local, core, addr)
+	})
+}
+
+// lockReleaseAt runs the local-SE side of a release after message processing
+// (also used when cond_wait releases the associated lock).
+func (c *Coordinator) lockReleaseAt(pt sim.Time, local *node, core int, addr uint64) {
+	master := c.masterNode(addr)
+	ls := local.locals[addr]
+	if ls == nil || !ls.owning || !ls.holderActive {
+		// The acquire was serviced via the master (overflow mode): redirect
+		// the release there too.
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			c.masterLockCoreRelease(mt, addr)
+		})
+		return
+	}
+	ls.holderActive = false
+	transfer := c.opt.FairnessThreshold > 0 && ls.grants >= c.opt.FairnessThreshold
+	if len(ls.waiters) > 0 && !transfer {
+		c.grantNextLocal(pt, local, ls)
+		return
+	}
+	// No more local requests (or fairness transfer): send one aggregated
+	// global lock_release; re-queue this SE when it still has waiters.
+	requeue := len(ls.waiters) > 0
+	ls.owning = false
+	ls.grants = 0
+	if !requeue {
+		ls.requested = false
+		local.localDrop(pt, addr)
+	}
+	c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+		c.masterLockNodeRelease(mt, local, addr, requeue)
+	})
+}
+
+// masterLockNodeAcquire handles a global lock_acquire from a local SE.
+func (c *Coordinator) masterLockNodeAcquire(t sim.Time, from *node, addr uint64) {
+	ms := c.master(addr)
+	c.masterHold(t, ms)
+	if c.masterNode(addr).viaMemory(addr) {
+		c.overflowReqs++
+	}
+	if !ms.lockHeld {
+		ms.lockHeld = true
+		c.grantLockToNode(t, from, addr)
+		return
+	}
+	ms.queue = append(ms.queue, holderRef{node: from})
+}
+
+// masterLockCoreAcquire handles a per-core acquire at the master (flat,
+// central, or overflow-redirected via relay).
+func (c *Coordinator) masterLockCoreAcquire(t sim.Time, core int, addr uint64, done func(sim.Time), relay *node) {
+	ms := c.master(addr)
+	c.masterHold(t, ms)
+	if relay != nil {
+		// §4.3.2: both the overflowed SE and the master service the variable
+		// via memory and track it in their indexing counters.
+		ms.overflowSEs[relay] = true
+		c.masterNode(addr).memEnter(addr)
+	}
+	if c.masterNode(addr).viaMemory(addr) || ms.fallback {
+		c.overflowReqs++
+	}
+	ref := holderRef{node: nil, core: core, done: done, relay: relay}
+	if !ms.lockHeld {
+		ms.lockHeld = true
+		c.grantLockToCore(t, addr, ref)
+		return
+	}
+	ms.queue = append(ms.queue, ref)
+}
+
+// masterLockNodeRelease handles an aggregated global lock_release from a
+// local SE; requeue re-enqueues that SE at the tail (fairness transfer).
+func (c *Coordinator) masterLockNodeRelease(t sim.Time, from *node, addr uint64, requeue bool) {
+	ms := c.master(addr)
+	ms.lockHeld = false
+	if requeue {
+		ms.queue = append(ms.queue, holderRef{node: from})
+	}
+	c.masterLockGrantNext(t, ms, addr)
+}
+
+// masterLockCoreRelease handles a per-core release at the master.
+func (c *Coordinator) masterLockCoreRelease(t sim.Time, addr uint64) {
+	ms := c.master(addr)
+	ms.lockHeld = false
+	c.masterLockGrantNext(t, ms, addr)
+}
+
+// masterLockGrantNext transfers the lock to the next waiting SE or core,
+// preferring the master's own unit's SE (the paper's master-local priority),
+// or frees the variable when nobody waits.
+func (c *Coordinator) masterLockGrantNext(t sim.Time, ms *masterState, addr uint64) {
+	if len(ms.queue) == 0 {
+		c.masterFree(t, ms)
+		return
+	}
+	idx := 0
+	mn := c.masterNode(addr)
+	for i, ref := range ms.queue {
+		if ref.node == mn {
+			idx = i
+			break
+		}
+	}
+	ref := ms.queue[idx]
+	ms.queue = append(ms.queue[:idx], ms.queue[idx+1:]...)
+	ms.lockHeld = true
+	if ref.node != nil {
+		c.grantLockToNode(t, ref.node, addr)
+	} else {
+		c.grantLockToCore(t, addr, ref)
+	}
+}
+
+// grantLockToNode sends lock_grant_global to a local SE, which then serves
+// its local waiting list.
+func (c *Coordinator) grantLockToNode(t sim.Time, to *node, addr uint64) {
+	master := c.masterNode(addr)
+	c.nodeToNode(t, master, to, addr, func(lt sim.Time) {
+		ls := to.locals[addr]
+		if ls == nil {
+			// All local waiters vanished (can only happen via fairness
+			// requeue races); bounce the lock back.
+			c.nodeToNode(lt, to, master, addr, func(mt sim.Time) {
+				c.masterLockNodeRelease(mt, to, addr, false)
+			})
+			return
+		}
+		ls.owning = true
+		if len(ls.waiters) > 0 && !ls.holderActive {
+			c.grantNextLocal(lt, to, ls)
+		}
+	})
+}
+
+// grantLockToCore sends the grant to a single core, through its overflowed
+// local SE when the request was relayed.
+func (c *Coordinator) grantLockToCore(t sim.Time, addr uint64, ref holderRef) {
+	if ms, ok := c.vars[addr]; ok && ms.fallback {
+		c.fallbackGrant(t, addr, ref)
+		return
+	}
+	master := c.masterNode(addr)
+	if ref.relay != nil && ref.relay != master {
+		c.nodeToNode(t, master, ref.relay, addr, func(rt sim.Time) {
+			c.nodeToCore(rt, ref.relay, ref.core, ref.done)
+		})
+		return
+	}
+	c.nodeToCore(t, master, ref.core, ref.done)
+}

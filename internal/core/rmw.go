@@ -1,0 +1,39 @@
+package core
+
+import "syncron/internal/sim"
+
+// fetchAdd implements the §4.4.1 enhancement: a simple atomic
+// read-modify-write executed inside the Master SE's lightweight ALU. The
+// paper leaves this to future work; we implement it behind the same routing
+// machinery so it can be exercised and benchmarked.
+func (c *Coordinator) fetchAdd(t sim.Time, core int, addr uint64, delta uint64, done func(sim.Time)) {
+	master := c.masterNode(addr)
+	apply := func(mt sim.Time, relay *node) {
+		ms := c.master(addr)
+		c.masterHold(mt, ms)
+		ms.rmwValue += delta
+		if relay != nil && relay != master {
+			c.nodeToNode(mt, master, relay, addr, func(rt sim.Time) {
+				c.nodeToCore(rt, relay, core, done)
+			})
+			return
+		}
+		c.nodeToCore(mt, master, core, done)
+	}
+	if !c.hierarchical() {
+		c.coreToNode(t, core, master, addr, func(pt sim.Time) { apply(pt, nil) })
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) { apply(mt, local) })
+	})
+}
+
+// RMWValue returns the accumulated fetch-add value for addr (testing hook).
+func (c *Coordinator) RMWValue(addr uint64) uint64 {
+	if ms, ok := c.vars[addr]; ok {
+		return ms.rmwValue
+	}
+	return 0
+}

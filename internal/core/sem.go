@@ -1,0 +1,91 @@
+package core
+
+import "syncron/internal/sim"
+
+// Semaphore protocol: the resource count lives in the master's ST entry
+// (TableInfo: available #resources, Figure 7). In hierarchical mode local
+// SEs relay sem_wait_local / sem_post_local as per-waiter global messages,
+// and grants are delivered back through the waiter's local SE
+// (sem_grant_global -> sem_grant_local).
+
+// semWait handles sem_wait; initial is the semaphore's initial resource
+// count, communicated on first touch (MessageInfo).
+func (c *Coordinator) semWait(t sim.Time, core int, addr uint64, initial int, done func(sim.Time)) {
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			c.masterSemWait(pt, addr, initial, holderRef{core: core, done: done})
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	master := c.masterNode(addr)
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			c.masterSemWait(mt, addr, initial, holderRef{core: core, done: done, relay: local})
+		})
+	})
+}
+
+// semPost handles sem_post.
+func (c *Coordinator) semPost(t sim.Time, core int, addr uint64) {
+	if !c.hierarchical() {
+		m := c.masterNode(addr)
+		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
+			c.masterSemPost(pt, addr)
+		})
+		return
+	}
+	local := c.nodes[c.m.UnitOf(core)]
+	master := c.masterNode(addr)
+	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
+		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
+			c.masterSemPost(mt, addr)
+		})
+	})
+}
+
+func (c *Coordinator) masterSemWait(t sim.Time, addr uint64, initial int, ref holderRef) {
+	ms := c.master(addr)
+	c.masterHold(t, ms)
+	if !ms.semInit {
+		ms.semInit = true
+		ms.semCount = initial
+	}
+	if c.masterNode(addr).viaMemory(addr) {
+		c.overflowReqs++
+	}
+	if ms.semCount > 0 {
+		ms.semCount--
+		c.semGrant(t, addr, ref)
+		return
+	}
+	ms.semQ = append(ms.semQ, ref)
+}
+
+func (c *Coordinator) masterSemPost(t sim.Time, addr uint64) {
+	ms := c.master(addr)
+	c.masterHold(t, ms)
+	if !ms.semInit {
+		ms.semInit = true
+	}
+	if len(ms.semQ) > 0 {
+		ref := ms.semQ[0]
+		ms.semQ = ms.semQ[1:]
+		c.semGrant(t, addr, ref)
+		return
+	}
+	ms.semCount++
+}
+
+// semGrant delivers a sem_grant to the waiting core.
+func (c *Coordinator) semGrant(t sim.Time, addr uint64, ref holderRef) {
+	master := c.masterNode(addr)
+	if ref.relay != nil && ref.relay != master {
+		c.nodeToNode(t, master, ref.relay, addr, func(rt sim.Time) {
+			c.nodeToCore(rt, ref.relay, ref.core, ref.done)
+		})
+		return
+	}
+	c.nodeToCore(t, master, ref.core, ref.done)
+}

@@ -1,0 +1,113 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6) as printable tables. Each experiment
+// is registered under the paper's table/figure id and accepts a scale factor
+// that shrinks workloads proportionally (1.0 = the repository's default
+// size; the paper's absolute sizes are larger but shape-equivalent).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated paper artifact.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig12"
+	Paper string // e.g. "Figure 12"
+	Brief string
+	Run   func(scale float64) []*Table
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns all experiments in id order.
+func All() []*Experiment {
+	var out []*Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,315 @@
+package exp
+
+import (
+	"fmt"
+
+	"syncron/internal/mem"
+	"syncron/internal/sim"
+)
+
+// combosSubset is the representative subset used by Figures 13-15 (the paper
+// shows the same subset for space).
+var combosSubset = []GraphRun{
+	{"bfs", "sl"}, {"cc", "sx"}, {"sssp", "co"}, {"pr", "wk"},
+	{"tf", "sl"}, {"tc", "sx"}, {"ts", "air"}, {"ts", "pow"},
+}
+
+func (g GraphRun) String() string { return g.App + "." + g.Input }
+
+func init() {
+	register(&Experiment{
+		ID:    "fig12",
+		Paper: "Figure 12",
+		Brief: "Speedup of all schemes over Central across the 26 application-input combinations",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig12",
+				Title:   "Real applications: speedup normalized to Central",
+				Columns: []string{"workload", "central", "hier", "syncron", "ideal"},
+			}
+			sums := map[string]float64{}
+			n := 0
+			for _, run := range Combos26() {
+				times := map[string]sim.Time{}
+				for _, scheme := range Schemes {
+					times[scheme] = RunGraph(Spec{Backend: scheme}, run, scale, false).Makespan
+				}
+				row := []string{run.String()}
+				for _, scheme := range Schemes {
+					sp := float64(times["central"]) / float64(times[scheme])
+					sums[scheme] += sp
+					row = append(row, f2(sp))
+				}
+				n++
+				t.Rows = append(t.Rows, row)
+			}
+			avg := []string{"AVG"}
+			for _, scheme := range Schemes {
+				avg = append(avg, f2(sums[scheme]/float64(n)))
+			}
+			t.Rows = append(t.Rows, avg)
+			t.Notes = "paper AVG: Hier 1.19x, SynCron 1.47x, Ideal 1.62x over Central (SynCron within 9.5% of Ideal)"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig13",
+		Paper: "Figure 13",
+		Brief: "Scalability of real applications with SynCron, 1-4 NDP units",
+		Run: func(scale float64) []*Table {
+			// Scaling needs enough work per core to amortize remote accesses;
+			// run this experiment on larger inputs than the shared scale.
+			scale *= 5
+			t := &Table{ID: "fig13",
+				Title:   "SynCron speedup over 1 NDP unit",
+				Columns: []string{"workload", "1 unit", "2 units", "3 units", "4 units"},
+			}
+			var sum [4]float64
+			for _, run := range combosSubset {
+				var base sim.Time
+				row := []string{run.String()}
+				for u := 1; u <= 4; u++ {
+					res := RunGraph(Spec{Backend: "syncron", Units: u}, run, scale, false)
+					if u == 1 {
+						base = res.Makespan
+					}
+					sp := float64(base) / float64(res.Makespan)
+					sum[u-1] += sp
+					row = append(row, f2(sp))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			avg := []string{"AVG"}
+			for i := range sum {
+				avg = append(avg, f2(sum[i]/float64(len(combosSubset))))
+			}
+			t.Rows = append(t.Rows, avg)
+			t.Notes = "paper: 2.03x on average at 4 units (range 1.32x-3.03x)"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig14",
+		Paper: "Figure 14",
+		Brief: "Energy breakdown (cache / network / memory) in real applications",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig14",
+				Title:   "Energy (normalized to Central = 1.0) split into cache/network/memory",
+				Columns: []string{"workload", "scheme", "cache", "network", "memory", "total"},
+			}
+			for _, run := range combosSubset {
+				var centralTotal float64
+				for _, scheme := range Schemes {
+					res := RunGraph(Spec{Backend: scheme}, run, scale, false)
+					e := res.Energy
+					if scheme == "central" {
+						centralTotal = e.Total()
+					}
+					t.Rows = append(t.Rows, []string{run.String(), scheme,
+						f2(e.CachePJ / centralTotal), f2(e.NetworkPJ / centralTotal),
+						f2(e.MemoryPJ / centralTotal), f2(e.Total() / centralTotal)})
+				}
+			}
+			t.Notes = "paper: SynCron reduces energy 2.22x vs Central, 1.94x vs Hier, within 6.2% of Ideal"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig15",
+		Paper: "Figure 15",
+		Brief: "Data movement inside/across NDP units in real applications",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig15",
+				Title:   "Bytes moved (normalized to Central total) inside vs across NDP units",
+				Columns: []string{"workload", "scheme", "inside", "across", "total"},
+			}
+			for _, run := range combosSubset {
+				var centralTotal float64
+				for _, scheme := range Schemes {
+					res := RunGraph(Spec{Backend: scheme}, run, scale, false)
+					total := float64(res.IntraB + res.InterB)
+					if scheme == "central" {
+						centralTotal = total
+					}
+					t.Rows = append(t.Rows, []string{run.String(), scheme,
+						f2(float64(res.IntraB) / centralTotal),
+						f2(float64(res.InterB) / centralTotal),
+						f2(total / centralTotal)})
+				}
+			}
+			t.Notes = "paper: SynCron reduces data movement 2.08x vs Central and 2.04x vs Hier"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig17",
+		Paper: "Figure 17",
+		Brief: "pr.wk slowdown vs Ideal as inter-unit link latency grows (low contention)",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig17",
+				Title:   "pr.wk: slowdown over Ideal per link latency",
+				Columns: []string{"latency", "ideal", "syncron", "hier", "central"},
+			}
+			for _, lat := range []sim.Time{40 * sim.Nanosecond, 100 * sim.Nanosecond,
+				200 * sim.Nanosecond, 500 * sim.Nanosecond} {
+				times := map[string]sim.Time{}
+				for _, scheme := range Schemes {
+					times[scheme] = RunGraph(Spec{Backend: scheme, Link: lat},
+						GraphRun{"pr", "wk"}, scale, false).Makespan
+				}
+				t.Rows = append(t.Rows, []string{lat.String(),
+					"1.00",
+					f2(float64(times["syncron"]) / float64(times["ideal"])),
+					f2(float64(times["hier"]) / float64(times["ideal"])),
+					f2(float64(times["central"]) / float64(times["ideal"]))})
+			}
+			t.Notes = "paper @500ns: SynCron 1.17, Hier 1.37, Central 2.67 over Ideal"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig18",
+		Paper: "Figure 18",
+		Brief: "Speedup with different memory technologies (HBM / HMC / DDR4)",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig18",
+				Title:   "Speedup over Central per memory technology",
+				Columns: []string{"workload", "memory", "central", "hier", "syncron", "ideal"},
+			}
+			runs := []GraphRun{{"cc", "wk"}, {"pr", "wk"}, {"ts", "pow"}}
+			for _, run := range runs {
+				for _, tech := range []mem.Tech{mem.HBM, mem.HMC, mem.DDR4} {
+					times := map[string]sim.Time{}
+					for _, scheme := range Schemes {
+						times[scheme] = RunGraph(Spec{Backend: scheme, Mem: tech},
+							run, scale, false).Makespan
+					}
+					row := []string{run.String(), tech.String()}
+					for _, scheme := range Schemes {
+						row = append(row, f2(float64(times["central"])/float64(times[scheme])))
+					}
+					t.Rows = append(t.Rows, row)
+				}
+			}
+			t.Notes = "paper: SynCron's edge over Hier grows with memory latency (ts.pow: 1.41x HBM -> 2.49x DDR4)"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig19",
+		Paper: "Figure 19",
+		Brief: "Effect of better graph partitioning (METIS stand-in) on pagerank",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig19",
+				Title:   "pagerank: speedup over Central/no-partitioning; SynCron max ST occupancy",
+				Columns: []string{"graph", "partition", "central", "hier", "syncron", "ideal", "maxST"},
+			}
+			for _, input := range []string{"wk", "sl", "sx", "co"} {
+				var base sim.Time
+				for _, metis := range []bool{false, true} {
+					times := map[string]sim.Time{}
+					var stMax float64
+					for _, scheme := range Schemes {
+						res := RunGraph(Spec{Backend: scheme}, GraphRun{"pr", input}, scale, metis)
+						times[scheme] = res.Makespan
+						if scheme == "syncron" {
+							stMax = res.STMax
+						}
+					}
+					if !metis {
+						base = times["central"]
+					}
+					label := "hash"
+					if metis {
+						label = "metis-like"
+					}
+					row := []string{"pr." + input, label}
+					for _, scheme := range Schemes {
+						row = append(row, f2(float64(base)/float64(times[scheme])))
+					}
+					row = append(row, pct(stMax))
+					t.Rows = append(t.Rows, row)
+				}
+			}
+			t.Notes = "paper: with METIS, SynCron still wins and max ST occupancy drops (62->39% on wk)"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig20",
+		Paper: "Figure 20",
+		Brief: "SynCron vs flat on low-contention, sync-non-intensive graph workloads",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig20",
+				Title:   "Speedup of SynCron normalized to flat (40ns links)",
+				Columns: []string{"workload", "syncron/flat"},
+			}
+			var sum float64
+			n := 0
+			for _, run := range Combos26() {
+				if run.App == "ts" {
+					continue // Figure 20 is graphs only
+				}
+				sc := RunGraph(Spec{Backend: "syncron"}, run, scale, false)
+				fl := RunGraph(Spec{Backend: "flat"}, run, scale, false)
+				sp := float64(fl.Makespan) / float64(sc.Makespan)
+				sum += sp
+				n++
+				t.Rows = append(t.Rows, []string{run.String(), f2(sp)})
+			}
+			t.Rows = append(t.Rows, []string{"AVG", f2(sum / float64(n))})
+			t.Notes = "paper: SynCron within 1.1% of flat on average in this regime"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig22",
+		Paper: "Figure 22",
+		Brief: "Performance sensitivity to ST size (64 down to 8 entries)",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "fig22",
+				Title:   "Slowdown vs 64-entry ST (and % overflowed requests)",
+				Columns: []string{"workload", "ST", "slowdown", "overflowed"},
+			}
+			runs := []GraphRun{{"cc", "wk"}, {"pr", "wk"}, {"ts", "air"}, {"ts", "pow"}}
+			for _, run := range runs {
+				var base sim.Time
+				for _, st := range []int{64, 48, 32, 16, 8} {
+					res := RunGraph(Spec{Backend: "syncron", STEntries: st}, run, scale, false)
+					if st == 64 {
+						base = res.Makespan
+					}
+					t.Rows = append(t.Rows, []string{run.String(), fmt.Sprint(st),
+						f2(float64(res.Makespan) / float64(base)), pct(res.OverflowF)})
+				}
+			}
+			t.Notes = "paper: graphs never overflow at 64 entries; ts overflows below 48 entries with small slowdowns"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "table7",
+		Paper: "Table 7",
+		Brief: "ST occupancy (max and time-weighted average) across all 26 workloads",
+		Run: func(scale float64) []*Table {
+			t := &Table{ID: "table7",
+				Title:   "SynCron ST occupancy in real applications",
+				Columns: []string{"workload", "max", "avg"},
+			}
+			for _, run := range Combos26() {
+				res := RunGraph(Spec{Backend: "syncron"}, run, scale, false)
+				t.Rows = append(t.Rows, []string{run.String(), pct(res.STMax), pct(res.STMean)})
+			}
+			t.Notes = "paper: graphs max 46-63%, avg 1.2-6.1%; ts max 84-89%, avg ~44%"
+			return []*Table{t}
+		},
+	})
+}

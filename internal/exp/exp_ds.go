@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+
+	"syncron/internal/core"
+	"syncron/internal/sim"
+	"syncron/internal/workloads/ds"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig11",
+		Paper: "Figure 11",
+		Brief: "Throughput of the nine pointer-chasing data structures, 15-60 cores, all schemes",
+		Run: func(scale float64) []*Table {
+			ops := int(40 * scale)
+			if ops < 8 {
+				ops = 8
+			}
+			var tables []*Table
+			for _, name := range ds.Names() {
+				t := &Table{
+					ID:      "fig11-" + name,
+					Title:   fmt.Sprintf("%s: operations/ms vs NDP cores", name),
+					Columns: []string{"cores", "central", "hier", "syncron", "ideal"},
+				}
+				size := dsSize(name, scale)
+				for _, units := range []int{1, 2, 3, 4} {
+					row := []string{fmt.Sprint(units * 15)}
+					for _, scheme := range Schemes {
+						res := RunDS(Spec{Backend: scheme, Units: units, Cores: 15}, name, size, ops)
+						row = append(row, f1(res.OpsPerMs()))
+					}
+					t.Rows = append(t.Rows, row)
+				}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig16",
+		Paper: "Figure 16",
+		Brief: "High-contention throughput (stack, priority queue) vs inter-unit link transfer latency",
+		Run: func(scale float64) []*Table {
+			ops := int(30 * scale)
+			if ops < 8 {
+				ops = 8
+			}
+			latencies := []sim.Time{40 * sim.Nanosecond, 100 * sim.Nanosecond,
+				200 * sim.Nanosecond, 500 * sim.Nanosecond, 1 * sim.Microsecond,
+				2 * sim.Microsecond, 4500 * sim.Nanosecond, 9 * sim.Microsecond}
+			var tables []*Table
+			for _, name := range []string{"stack", "priorityqueue"} {
+				t := &Table{
+					ID:      "fig16-" + name,
+					Title:   fmt.Sprintf("%s: operations/ms vs inter-unit transfer latency (60 cores)", name),
+					Columns: []string{"latency", "central", "hier", "syncron", "ideal"},
+				}
+				size := dsSize(name, scale)
+				for _, lat := range latencies {
+					row := []string{lat.String()}
+					for _, scheme := range Schemes {
+						res := RunDS(Spec{Backend: scheme, Link: lat}, name, size, ops)
+						row = append(row, f1(res.OpsPerMs()))
+					}
+					t.Rows = append(t.Rows, row)
+				}
+				t.Notes = "paper: SynCron and Hier hide slow links; Central collapses; SynCron beats Hier ~1.04-1.06x"
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig21",
+		Paper: "Figure 21",
+		Brief: "SynCron vs flat: (a) time series across link latencies, (b) queue under high contention",
+		Run: func(scale float64) []*Table {
+			latencies := []sim.Time{40 * sim.Nanosecond, 100 * sim.Nanosecond,
+				200 * sim.Nanosecond, 500 * sim.Nanosecond}
+			ta := &Table{ID: "fig21a",
+				Title:   "Speedup of SynCron over flat, time series (low contention, sync-intensive)",
+				Columns: []string{"input", "40ns", "100ns", "200ns", "500ns"},
+			}
+			for _, input := range []string{"air", "pow"} {
+				row := []string{"ts." + input}
+				for _, lat := range latencies {
+					sc := RunTS(Spec{Backend: "syncron", Link: lat}, input, scale*0.5)
+					fl := RunTS(Spec{Backend: "flat", Link: lat}, input, scale*0.5)
+					row = append(row, f2(float64(fl.Makespan)/float64(sc.Makespan)))
+				}
+				ta.Rows = append(ta.Rows, row)
+			}
+			ta.Notes = "paper: flat slightly wins (SynCron 3.6-7.3% worse) at low contention"
+
+			ops := int(30 * scale)
+			if ops < 8 {
+				ops = 8
+			}
+			tb := &Table{ID: "fig21b",
+				Title:   "Speedup of SynCron over flat, queue (high contention)",
+				Columns: []string{"cores", "40ns", "100ns", "200ns", "500ns"},
+			}
+			for _, units := range []int{2, 4} {
+				row := []string{fmt.Sprint(units * 15)}
+				for _, lat := range latencies {
+					sc := RunDS(Spec{Backend: "syncron", Units: units, Link: lat}, "queue", dsSize("queue", scale), ops)
+					fl := RunDS(Spec{Backend: "flat", Units: units, Link: lat}, "queue", dsSize("queue", scale), ops)
+					row = append(row, f2(float64(fl.Makespan)/float64(sc.Makespan)))
+				}
+				tb.Rows = append(tb.Rows, row)
+			}
+			tb.Notes = "paper: SynCron beats flat 1.23-2.14x, growing with link latency and core count"
+			return []*Table{ta, tb}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig23",
+		Paper: "Figure 23",
+		Brief: "BST_FG throughput under the three overflow schemes, varying ST size",
+		Run: func(scale float64) []*Table {
+			ops := int(20 * scale)
+			if ops < 6 {
+				ops = 6
+			}
+			// Overflow pressure needs a deep tree (many concurrently-held
+			// lock-coupling pairs); use a larger size than the shared scale.
+			size := dsSize("bst_fg", scale*8)
+			t := &Table{ID: "fig23",
+				Title:   "BST_FG operations/ms by overflow scheme and ST size (60 cores)",
+				Columns: []string{"ST size", "SynCron", "CentralOvrfl", "DistribOvrfl", "overflowed"},
+			}
+			for _, st := range []int{16, 32, 48, 64, 128, 256} {
+				integ := RunDS(Spec{Backend: "syncron", STEntries: st}, "bst_fg", size, ops)
+				cen := RunDS(Spec{Backend: "syncron", STEntries: st, Overflow: core.OverflowCentral},
+					"bst_fg", size, ops)
+				dis := RunDS(Spec{Backend: "syncron", STEntries: st, Overflow: core.OverflowDistrib},
+					"bst_fg", size, ops)
+				t.Rows = append(t.Rows, []string{fmt.Sprint(st),
+					f1(integ.OpsPerMs()), f1(cen.OpsPerMs()), f1(dis.OpsPerMs()),
+					pct(integ.OverflowF)})
+			}
+			t.Notes = "paper @64 entries (30.5% overflowed): integrated scheme loses 3.2%, CentralOvrfl 12.3%, DistribOvrfl 10.4%"
+			return []*Table{t}
+		},
+	})
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"fmt"
+
+	"syncron/internal/hwmodel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "table8",
+		Paper: "Table 8",
+		Brief: "SE area/power vs an ARM Cortex-A7 (analytic SRAM/logic model at 40nm)",
+		Run: func(scale float64) []*Table {
+			se := hwmodel.DefaultSE()
+			est := se.Estimate()
+			t := &Table{ID: "table8",
+				Title:   "Synchronization Engine hardware cost",
+				Columns: []string{"component", "bytes", "area (mm^2)", "power (mW)"},
+				Rows: [][]string{
+					{"SPU (logic)", "-", fmt.Sprintf("%.4f", est.SPUAreaMM2), fmt.Sprintf("%.2f", est.SPUPowerMW)},
+					{"ST (64 x 149b)", fmt.Sprint(se.STBytes()), fmt.Sprintf("%.4f", est.STAreaMM2), fmt.Sprintf("%.2f", est.STPowerMW)},
+					{"Indexing counters (256)", fmt.Sprint(se.CounterBytes()), fmt.Sprintf("%.4f", est.CountersAreaMM2), fmt.Sprintf("%.2f", est.CountersPowerMW)},
+					{"SE total", "-", fmt.Sprintf("%.4f", est.TotalAreaMM2()), fmt.Sprintf("%.2f", est.TotalPowerMW())},
+					{"ARM Cortex-A7 (28nm, 32KB L1)", "-", "0.4500", "100.00"},
+				},
+				Notes: "paper: SPU 0.0141, ST 0.0112, counters 0.0208, total 0.0461 mm^2 @40nm; 2.7mW",
+			}
+			return []*Table{t}
+		},
+	})
+}

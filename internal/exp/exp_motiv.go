@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+
+	"syncron/internal/program"
+	"syncron/internal/sim"
+)
+
+// RunLockPinned runs an empty-critical-section lock microbenchmark with the
+// given threads pinned to specific cores, returning the Result (used by
+// Table 1 and as a helper elsewhere).
+func RunLockPinned(s Spec, pinned []int, rounds int, interval int64) Result {
+	m := s.machine()
+	r := program.NewRunner(m)
+	lock := m.Alloc(0, 64)
+	for _, c := range pinned {
+		r.AddAt(c, func(ctx *program.Ctx) {
+			for k := 0; k < rounds; k++ {
+				ctx.Lock(lock)
+				ctx.Unlock(lock)
+				ctx.Compute(interval)
+			}
+		})
+	}
+	t := r.Run()
+	return collect(m, t, uint64(rounds*len(pinned)))
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "table1",
+		Paper: "Table 1",
+		Brief: "Throughput of coherence-based lock algorithms (TTAS, Hierarchical Ticket Lock) on a simulated 2-socket NUMA machine",
+		Run: func(scale float64) []*Table {
+			rounds := int(400 * scale)
+			if rounds < 40 {
+				rounds = 40
+			}
+			// Two sockets x 14 cores, like the Intel Xeon Gold server.
+			base := Spec{Units: 2, Cores: 14}
+			cases := []struct {
+				label  string
+				pinned []int
+			}{
+				{"1 thread", []int{0}},
+				{"14 threads single-socket", seq(0, 14)},
+				{"2 threads same-socket", []int{0, 1}},
+				{"2 threads different-socket", []int{0, 14}},
+			}
+			t := &Table{ID: "table1",
+				Title:   "Million lock operations per second (coherence-based locks, 2-socket NUMA)",
+				Columns: append([]string{"algorithm"}, labels(cases)...),
+			}
+			for _, alg := range []string{"ttas", "htl"} {
+				row := []string{alg}
+				for _, c := range cases {
+					s := base
+					s.Backend = alg
+					res := RunLockPinned(s, c.pinned, rounds, 60)
+					row = append(row, f2(res.MopsPerSec()))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			t.Notes = "paper (real Xeon): TTAS 8.92/2.28/9.91/4.32; HTL 8.06/2.91/9.01/6.79 Mops/s — expect the same qualitative drops, not the same absolute numbers"
+			return []*Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig2",
+		Paper: "Figure 2",
+		Brief: "Slowdown of a lock-based stack with a MESI coherence lock vs an ideal zero-cost lock",
+		Run: func(scale float64) []*Table {
+			ops := int(60 * scale)
+			if ops < 10 {
+				ops = 10
+			}
+			size := dsSize("stack", scale)
+
+			runStack := func(s Spec) Result {
+				return RunDS(s, "stack", size, ops)
+			}
+			ta := &Table{ID: "fig2a",
+				Title:   "Stack slowdown (mesi-lock / ideal-lock), single NDP unit",
+				Columns: []string{"NDP cores", "ideal-lock", "mesi-lock", "slowdown"},
+			}
+			for _, cores := range []int{15, 30, 45, 60} {
+				ideal := runStack(Spec{Backend: "ideal", Units: 1, Cores: cores})
+				mesi := runStack(Spec{Backend: "mesi-lock", Units: 1, Cores: cores})
+				ta.Rows = append(ta.Rows, []string{
+					fmt.Sprint(cores), ideal.Makespan.String(), mesi.Makespan.String(),
+					f2(float64(mesi.Makespan) / float64(ideal.Makespan))})
+			}
+			ta.Notes = "paper: slowdown grows with cores, 2.03x at 60 cores"
+
+			tb := &Table{ID: "fig2b",
+				Title:   "Stack slowdown (mesi-lock / ideal-lock), 60 cores across NDP units",
+				Columns: []string{"NDP units", "ideal-lock", "mesi-lock", "slowdown"},
+			}
+			for _, units := range []int{1, 2, 3, 4} {
+				ideal := runStack(Spec{Backend: "ideal", Units: units, Cores: 60 / units})
+				mesi := runStack(Spec{Backend: "mesi-lock", Units: units, Cores: 60 / units})
+				tb.Rows = append(tb.Rows, []string{
+					fmt.Sprint(units), ideal.Makespan.String(), mesi.Makespan.String(),
+					f2(float64(mesi.Makespan) / float64(ideal.Makespan))})
+			}
+			tb.Notes = "paper: slowdown grows with units, 2.66x at 4 units"
+			return []*Table{ta, tb}
+		},
+	})
+}
+
+func seq(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func labels[T any](cases []struct {
+	label  string
+	pinned T
+}) []string {
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.label
+	}
+	return out
+}
+
+var _ = sim.Time(0)

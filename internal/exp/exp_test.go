@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"syncron/internal/sim"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"table1", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+		"fig23", "table7", "table8", "ablation-fairness", "ablation-seservice"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: "n"}
+	out := tb.Format()
+	for _, want := range []string{"== x: t ==", "a  bb", "1  2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCombos26(t *testing.T) {
+	c := Combos26()
+	if len(c) != 26 {
+		t.Fatalf("Combos26 has %d entries, want 26 (Figure 12)", len(c))
+	}
+	if c[24].App != "ts" || c[25].App != "ts" {
+		t.Fatal("time series combos missing")
+	}
+}
+
+// TestShapeFig10 checks the paper's primitive-benchmark ordering at tiny
+// scale: Ideal >= SynCron >= Hier >= Central for small intervals.
+func TestShapeFig10(t *testing.T) {
+	times := map[string]float64{}
+	for _, scheme := range Schemes {
+		res := RunUbench(Spec{Backend: scheme, Units: 2, Cores: 8}, "lock", 100, 15)
+		times[scheme] = float64(res.Makespan)
+	}
+	if !(times["ideal"] <= times["syncron"] && times["syncron"] <= times["hier"] &&
+		times["hier"] <= times["central"]) {
+		t.Fatalf("fig10 ordering violated: %v", times)
+	}
+}
+
+// TestShapeFig15 checks SynCron moves less data across units than Central.
+func TestShapeFig15(t *testing.T) {
+	c := RunGraph(Spec{Backend: "central"}, GraphRun{"pr", "wk"}, 0.05, false)
+	s := RunGraph(Spec{Backend: "syncron"}, GraphRun{"pr", "wk"}, 0.05, false)
+	if s.InterB >= c.InterB {
+		t.Fatalf("syncron inter-unit bytes %d not below central %d", s.InterB, c.InterB)
+	}
+}
+
+// TestShapeFig22 checks that shrinking the ST induces overflow and slowdown
+// on the sync-intensive time-series workload.
+func TestShapeFig22(t *testing.T) {
+	big := RunTS(Spec{Backend: "syncron", STEntries: 64}, "air", 0.15)
+	small := RunTS(Spec{Backend: "syncron", STEntries: 4}, "air", 0.15)
+	if small.OverflowF == 0 {
+		t.Fatal("4-entry ST did not overflow on ts.air")
+	}
+	if small.Makespan <= big.Makespan {
+		t.Fatalf("overflowing ST (%v) not slower than 64-entry (%v)", small.Makespan, big.Makespan)
+	}
+}
+
+// TestShapeTable1 checks the NUMA penalty reproduces.
+func TestShapeTable1(t *testing.T) {
+	base := Spec{Backend: "ttas", Units: 2, Cores: 14}
+	same := RunLockPinned(base, []int{0, 1}, 40, 60)
+	diff := RunLockPinned(base, []int{0, 14}, 40, 60)
+	if diff.MopsPerSec() >= same.MopsPerSec() {
+		t.Fatalf("cross-socket throughput %.2f not below same-socket %.2f",
+			diff.MopsPerSec(), same.MopsPerSec())
+	}
+}
+
+// TestShapeFig21b checks SynCron beats flat under high contention with slow
+// links.
+func TestShapeFig21b(t *testing.T) {
+	link := 500 * sim.Nanosecond
+	sc := RunDS(Spec{Backend: "syncron", Link: link}, "queue", 128, 10)
+	fl := RunDS(Spec{Backend: "flat", Link: link}, "queue", 128, 10)
+	if sc.Makespan >= fl.Makespan {
+		t.Fatalf("syncron (%v) not faster than flat (%v) on contended queue with %v links",
+			sc.Makespan, fl.Makespan, link)
+	}
+}

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+
+	"syncron/internal/arch"
+	"syncron/internal/baselines"
+	"syncron/internal/coherlock"
+	"syncron/internal/core"
+	"syncron/internal/mem"
+	"syncron/internal/program"
+	"syncron/internal/sim"
+	"syncron/internal/workloads/ds"
+	"syncron/internal/workloads/graphs"
+	"syncron/internal/workloads/tseries"
+	"syncron/internal/workloads/ubench"
+)
+
+// Spec describes one simulation configuration.
+type Spec struct {
+	Backend string // central | hier | syncron | flat | ideal | mesi-lock | ttas | htl
+	Units   int
+	Cores   int // cores per unit
+	Link    sim.Time
+	Mem     mem.Tech
+
+	STEntries int
+	Overflow  core.OverflowPolicy
+	Fairness  int
+	Seed      uint64
+}
+
+// Schemes is the Figure order of the four main comparison points.
+var Schemes = []string{"central", "hier", "syncron", "ideal"}
+
+func (s Spec) machine() *arch.Machine {
+	cfg := arch.Default()
+	if s.Units != 0 {
+		cfg.Units = s.Units
+	}
+	if s.Cores != 0 {
+		cfg.CoresPerUnit = s.Cores
+	}
+	cfg.LinkLatency = s.Link
+	cfg.Mem = s.Mem
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	m := arch.NewMachine(cfg)
+	m.Backend = s.backend()
+	return m
+}
+
+func (s Spec) backend() arch.Backend {
+	switch s.Backend {
+	case "central":
+		return baselines.NewCentral()
+	case "hier":
+		return baselines.NewHier()
+	case "ideal":
+		return baselines.NewIdeal()
+	case "syncron":
+		return core.NewCoordinator(core.Options{Topology: core.TopoHier, HardwareSE: true,
+			STEntries: s.STEntries, Overflow: s.Overflow, FairnessThreshold: s.Fairness})
+	case "flat":
+		return core.NewCoordinator(core.Options{Topology: core.TopoFlat, HardwareSE: true,
+			STEntries: s.STEntries, Name: "syncron-flat"})
+	case "mesi-lock":
+		return coherlock.New(coherlock.MESILock)
+	case "ttas":
+		return coherlock.New(coherlock.TTAS)
+	case "htl":
+		return coherlock.New(coherlock.HTL)
+	default:
+		panic(fmt.Sprintf("exp: unknown backend %q", s.Backend))
+	}
+}
+
+// Result captures everything the experiments report.
+type Result struct {
+	Makespan  sim.Time
+	Ops       uint64
+	Energy    arch.Energy
+	IntraB    uint64
+	InterB    uint64
+	STMax     float64
+	STMean    float64
+	OverflowF float64
+}
+
+// MopsPerSec is throughput in million operations per second.
+func (r Result) MopsPerSec() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Makespan.Seconds() / 1e6
+}
+
+// OpsPerMs is throughput in operations per millisecond (Figure 11's unit).
+func (r Result) OpsPerMs() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.Ops) / (r.Makespan.Seconds() * 1e3)
+}
+
+func collect(m *arch.Machine, makespan sim.Time, ops uint64) Result {
+	res := Result{Makespan: makespan, Ops: ops, Energy: m.EnergyBreakdown()}
+	res.IntraB, res.InterB = m.DataMovement()
+	if bs, ok := m.Backend.(arch.BackendStats); ok {
+		res.STMax, res.STMean = bs.STOccupancy()
+		res.OverflowF = bs.OverflowedFraction()
+	}
+	return res
+}
+
+// RunUbench runs a Figure-10 microbenchmark.
+func RunUbench(s Spec, prim ubench.Primitive, interval int64, rounds int) Result {
+	m := s.machine()
+	r := program.NewRunner(m)
+	ubench.Build(m, r, ubench.Config{Primitive: prim, Interval: interval, Rounds: rounds})
+	t := r.Run()
+	return collect(m, t, uint64(rounds*m.NumCores()))
+}
+
+// RunDS runs a pointer-chasing data structure benchmark.
+func RunDS(s Spec, name string, size, opsPerCore int) Result {
+	m := s.machine()
+	rng := sim.NewRNG(m.Cfg.Seed + 100)
+	d := ds.New(name, m, ds.Config{Size: size}, rng)
+	r := program.NewRunner(m)
+	r.AddN(m.NumCores(), func(i int) program.Program {
+		return func(ctx *program.Ctx) {
+			for k := 0; k < opsPerCore; k++ {
+				d.Op(ctx, ctx.RNG)
+			}
+		}
+	})
+	t := r.Run()
+	if err := d.Check(); err != nil {
+		panic(fmt.Sprintf("exp: %s failed functional check under %s: %v", name, s.Backend, err))
+	}
+	return collect(m, t, uint64(opsPerCore*m.NumCores()))
+}
+
+// dsSize scales Table-6 sizes; pointer-heavy structures are kept within
+// simulation-friendly bounds while preserving their relative shapes.
+func dsSize(name string, scale float64) int {
+	base := map[string]int{
+		"stack": 2048, "queue": 2048, "arraymap": 10, "priorityqueue": 1024,
+		"skiplist": 512, "hashtable": 512, "linkedlist": 256, "bst_fg": 512,
+		"bst_drachsler": 512,
+	}[name]
+	n := int(float64(base) * scale)
+	if name == "arraymap" {
+		return 10
+	}
+	if n < 32 {
+		n = 32
+	}
+	return n
+}
+
+// GraphRun identifies one app-input combination (e.g. "pr", "wk").
+type GraphRun struct {
+	App, Input string
+}
+
+// Combos26 is the paper's 26 application-input combinations of Figure 12.
+func Combos26() []GraphRun {
+	var out []GraphRun
+	for _, app := range graphs.Apps() {
+		for _, in := range graphs.Inputs() {
+			out = append(out, GraphRun{app, in})
+		}
+	}
+	out = append(out, GraphRun{"ts", "air"}, GraphRun{"ts", "pow"})
+	return out
+}
+
+// RunGraph runs one graph application (or time series when app == "ts").
+func RunGraph(s Spec, run GraphRun, scale float64, metis bool) Result {
+	if run.App == "ts" {
+		return RunTS(s, run.Input, scale)
+	}
+	m := s.machine()
+	g := graphs.Load(run.Input, scale)
+	var part graphs.Partition
+	if metis {
+		part = graphs.GreedyPartition(g, m.Cfg.Units)
+	} else {
+		part = graphs.HashPartition(g, m.Cfg.Units)
+	}
+	ly := graphs.NewLayout(m, g, part)
+	a := graphs.NewApp(m, ly, graphs.RunConfig{App: run.App, Graph: g, Part: part})
+	r := program.NewRunner(m)
+	a.Build(m, r)
+	t := r.Run()
+	if err := a.Check(); err != nil {
+		panic(fmt.Sprintf("exp: %s.%s failed functional check under %s: %v",
+			run.App, run.Input, s.Backend, err))
+	}
+	return collect(m, t, uint64(g.M))
+}
+
+// runTSWithSECycles runs ts with a SynCron backend whose SE service time is
+// overridden (ablation-seservice).
+func runTSWithSECycles(s Spec, input string, scale float64, cycles int64) Result {
+	cfg := arch.Default()
+	if s.Units != 0 {
+		cfg.Units = s.Units
+	}
+	m := arch.NewMachine(cfg)
+	m.Backend = core.NewCoordinator(core.Options{Topology: core.TopoHier, HardwareSE: true,
+		SEServiceCycles: cycles})
+	series := tseries.Load(input, scale)
+	w := tseries.New(m, series)
+	r := program.NewRunner(m)
+	w.Build(m, r)
+	t := r.Run()
+	if err := w.Check(); err != nil {
+		panic(fmt.Sprintf("exp: ts.%s failed functional check: %v", input, err))
+	}
+	return collect(m, t, uint64(series.Profiles()))
+}
+
+// RunTS runs the time-series analysis workload.
+func RunTS(s Spec, input string, scale float64) Result {
+	m := s.machine()
+	series := tseries.Load(input, scale)
+	w := tseries.New(m, series)
+	r := program.NewRunner(m)
+	w.Build(m, r)
+	t := r.Run()
+	if err := w.Check(); err != nil {
+		panic(fmt.Sprintf("exp: ts.%s failed functional check under %s: %v", input, s.Backend, err))
+	}
+	return collect(m, t, uint64(series.Profiles()))
+}

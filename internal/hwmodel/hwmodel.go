@@ -1,0 +1,70 @@
+// Package hwmodel provides the analytic area/power model behind Table 8: the
+// paper estimated the SPU with Aladdin and the SRAM structures with CACTI at
+// 40nm; we reproduce the same arithmetic with per-byte SRAM constants
+// calibrated to published 40nm CACTI outputs, so the component composition
+// (and hence the conclusion — an SE is ~10x smaller and ~37x lower-power
+// than even a Cortex-A7) regenerates from structure sizes.
+package hwmodel
+
+// SEConfig describes a Synchronization Engine's hardware structures.
+type SEConfig struct {
+	STEntries    int // Synchronization Table entries
+	STEntryBits  int // bits per entry (Figure 7: 64+4+16+1+64 = 149)
+	Counters     int // indexing counters
+	CounterBits  int // bits per counter (address tag + count)
+	BufferBytes  int // SPU message buffer
+	RegisterBits int // SPU registers (8 x 64)
+}
+
+// DefaultSE is the paper's configuration (§4.2, Table 5).
+func DefaultSE() SEConfig {
+	return SEConfig{STEntries: 64, STEntryBits: 149, Counters: 256, CounterBits: 72,
+		BufferBytes: 280, RegisterBits: 8 * 64}
+}
+
+// STBytes returns the ST capacity in bytes (paper: 1192 B).
+func (c SEConfig) STBytes() int { return c.STEntries * c.STEntryBits / 8 }
+
+// CounterBytes returns the indexing-counter capacity in bytes (paper: 2304 B).
+func (c SEConfig) CounterBytes() int { return c.Counters * c.CounterBits / 8 }
+
+// Estimate is the area/power breakdown.
+type Estimate struct {
+	SPUAreaMM2      float64
+	STAreaMM2       float64
+	CountersAreaMM2 float64
+	SPUPowerMW      float64
+	STPowerMW       float64
+	CountersPowerMW float64
+}
+
+// TotalAreaMM2 returns the summed area.
+func (e Estimate) TotalAreaMM2() float64 { return e.SPUAreaMM2 + e.STAreaMM2 + e.CountersAreaMM2 }
+
+// TotalPowerMW returns the summed power.
+func (e Estimate) TotalPowerMW() float64 { return e.SPUPowerMW + e.STPowerMW + e.CountersPowerMW }
+
+// 40nm SRAM constants calibrated against CACTI 6.5 small-array outputs: area
+// ~9.2e-6 mm^2/byte including peripherals for KB-scale arrays; leakage +
+// access power ~0.55 uW/byte at 1 GHz low activity.
+const (
+	sramAreaPerByte  = 9.2e-6
+	sramPowerPerByte = 0.55e-3
+	// SPU: control FSM + bitwise ALU + buffer, dominated by the buffer and
+	// registers; Aladdin reported 0.0141 mm^2 / ~1.5 mW for the paper's SPU.
+	spuLogicArea  = 0.0105
+	spuLogicPower = 0.9
+)
+
+// Estimate computes the breakdown from structure sizes.
+func (c SEConfig) Estimate() Estimate {
+	bufBytes := float64(c.BufferBytes) + float64(c.RegisterBits)/8
+	return Estimate{
+		SPUAreaMM2:      spuLogicArea + bufBytes*sramAreaPerByte,
+		STAreaMM2:       float64(c.STBytes()) * sramAreaPerByte,
+		CountersAreaMM2: float64(c.CounterBytes()) * sramAreaPerByte,
+		SPUPowerMW:      spuLogicPower + bufBytes*sramPowerPerByte,
+		STPowerMW:       float64(c.STBytes()) * sramPowerPerByte,
+		CountersPowerMW: float64(c.CounterBytes()) * sramPowerPerByte,
+	}
+}

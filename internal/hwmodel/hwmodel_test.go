@@ -1,0 +1,55 @@
+package hwmodel
+
+import "testing"
+
+func TestStructureSizesMatchPaper(t *testing.T) {
+	se := DefaultSE()
+	if got := se.STBytes(); got != 1192 {
+		t.Fatalf("ST bytes = %d, want 1192 (Table 5)", got)
+	}
+	if got := se.CounterBytes(); got != 2304 {
+		t.Fatalf("counter bytes = %d, want 2304 (Table 5)", got)
+	}
+}
+
+func TestAreaWithinPaperBallpark(t *testing.T) {
+	est := DefaultSE().Estimate()
+	// Paper (Table 8): SPU 0.0141, ST 0.0112, counters 0.0208, total 0.0461 mm^2.
+	within := func(got, want, tol float64) bool {
+		return got > want*(1-tol) && got < want*(1+tol)
+	}
+	if !within(est.STAreaMM2, 0.0112, 0.25) {
+		t.Errorf("ST area %.4f vs paper 0.0112", est.STAreaMM2)
+	}
+	if !within(est.CountersAreaMM2, 0.0208, 0.25) {
+		t.Errorf("counter area %.4f vs paper 0.0208", est.CountersAreaMM2)
+	}
+	if !within(est.TotalAreaMM2(), 0.0461, 0.25) {
+		t.Errorf("total area %.4f vs paper 0.0461", est.TotalAreaMM2())
+	}
+	// ~10x smaller than a Cortex-A7 (0.45 mm^2).
+	if est.TotalAreaMM2() > 0.45/5 {
+		t.Errorf("SE area %.4f not far below Cortex-A7", est.TotalAreaMM2())
+	}
+}
+
+func TestPowerWithinPaperBallpark(t *testing.T) {
+	est := DefaultSE().Estimate()
+	// Paper: 2.7 mW total vs 100 mW for a Cortex-A7.
+	if est.TotalPowerMW() < 1 || est.TotalPowerMW() > 8 {
+		t.Errorf("SE power %.2f mW outside the paper's few-mW ballpark", est.TotalPowerMW())
+	}
+	if est.TotalPowerMW() > 100/10 {
+		t.Errorf("SE power %.2f mW not far below Cortex-A7's 100 mW", est.TotalPowerMW())
+	}
+}
+
+func TestEstimateScalesWithEntries(t *testing.T) {
+	small := SEConfig{STEntries: 16, STEntryBits: 149, Counters: 256, CounterBits: 72,
+		BufferBytes: 280, RegisterBits: 512}
+	big := SEConfig{STEntries: 256, STEntryBits: 149, Counters: 256, CounterBits: 72,
+		BufferBytes: 280, RegisterBits: 512}
+	if small.Estimate().STAreaMM2 >= big.Estimate().STAreaMM2 {
+		t.Fatal("ST area did not scale with entry count")
+	}
+}

@@ -1,0 +1,167 @@
+// Package network models the NDP interconnect: a buffered crossbar inside
+// each NDP unit (1-cycle arbiter, 1-cycle hops, per-destination-port FIFO
+// queueing — a deterministic stand-in for the paper's M/D/1 queueing model)
+// and narrow serial links between NDP units (12.8 GB/s per direction, 40 ns
+// per cache line, 20-cycle fixed latency, per Table 5).
+//
+// The package also owns the traffic accounting used for Figures 14 and 15:
+// bits moved inside NDP units vs across them, and the corresponding energy
+// (0.4 pJ/bit/hop intra-unit; 4 pJ/bit on inter-unit links).
+package network
+
+import (
+	"fmt"
+
+	"syncron/internal/sim"
+)
+
+// Config holds the interconnect parameters.
+type Config struct {
+	CoreClock sim.Clock // clock used for cycle-denominated latencies
+
+	// Intra-unit crossbar.
+	HopCycles        int64 // per-hop latency
+	Hops             int64 // hops for a core<->SE/memory traversal
+	ArbiterCycles    int64 // arbitration
+	FlitBytes        int   // crossbar port width per cycle
+	IntraPJPerBitHop float64
+
+	// Inter-unit serial links.
+	LinkLatency     sim.Time // fixed transfer latency per cache line (default 40ns)
+	LinkFixedCycles int64    // additional fixed cycles (default 20)
+	LinkBytesPerSec float64  // per-direction bandwidth (default 12.8 GB/s)
+	InterPJPerBit   float64
+}
+
+// DefaultConfig returns the Table-5 interconnect.
+func DefaultConfig(coreClock sim.Clock) Config {
+	return Config{
+		CoreClock:        coreClock,
+		HopCycles:        1,
+		Hops:             2,
+		ArbiterCycles:    1,
+		FlitBytes:        16,
+		IntraPJPerBitHop: 0.4,
+		LinkLatency:      40 * sim.Nanosecond,
+		LinkFixedCycles:  20,
+		LinkBytesPerSec:  12.8e9,
+		InterPJPerBit:    4.0,
+	}
+}
+
+// Stats aggregates traffic for energy and data-movement reporting.
+type Stats struct {
+	IntraBits sim.Counter // bits moved inside NDP units (bit-hops / Hops)
+	InterBits sim.Counter // bits moved across NDP units
+	IntraMsgs sim.Counter
+	InterMsgs sim.Counter
+}
+
+// EnergyPJ returns network energy under cfg.
+func (s *Stats) EnergyPJ(cfg Config) float64 {
+	intra := float64(s.IntraBits.Value()) * cfg.IntraPJPerBitHop * float64(cfg.Hops)
+	inter := float64(s.InterBits.Value()) * cfg.InterPJPerBit
+	return intra + inter
+}
+
+// Network models the whole system's interconnect: one crossbar per unit and
+// one serial link pair per ordered unit pair (full point-to-point topology,
+// as in Figure 1's interconnection links).
+type Network struct {
+	cfg   Config
+	units int
+
+	// crossbar output-port occupancy: [unit][port]; ports are destinations
+	// inside the unit (cores + SE + memory controller), coarsened to a single
+	// shared crossbar budget per destination endpoint id.
+	xbarBusy []map[int]sim.Time
+
+	// linkBusy[src][dst] is the per-direction serialization horizon.
+	linkBusy [][]sim.Time
+
+	Stats Stats
+}
+
+// New builds the interconnect for n units.
+func New(cfg Config, n int) *Network {
+	x := make([]map[int]sim.Time, n)
+	for i := range x {
+		x[i] = make(map[int]sim.Time)
+	}
+	lb := make([][]sim.Time, n)
+	for i := range lb {
+		lb[i] = make([]sim.Time, n)
+	}
+	return &Network{cfg: cfg, units: n, xbarBusy: x, linkBusy: lb}
+}
+
+// Config returns the active configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Units returns the number of NDP units connected.
+func (n *Network) Units() int { return n.units }
+
+// IntraDelay computes the arrival time of a message of size bytes injected at
+// time t inside unit, destined for local endpoint dstPort (an arbitrary id
+// used for queueing separation: core index, -1 for SE, -2 for memory).
+func (n *Network) IntraDelay(t sim.Time, unit, dstPort, bytes int) sim.Time {
+	cfg := n.cfg
+	flits := int64((bytes + cfg.FlitBytes - 1) / cfg.FlitBytes)
+	if flits < 1 {
+		flits = 1
+	}
+	ser := cfg.CoreClock.Cycles(flits)
+	start := t
+	if busy := n.xbarBusy[unit][dstPort]; busy > start {
+		start = busy
+	}
+	n.xbarBusy[unit][dstPort] = start + ser
+	n.Stats.IntraBits.Add(uint64(bytes * 8))
+	n.Stats.IntraMsgs.Inc()
+	return start + ser + cfg.CoreClock.Cycles(cfg.ArbiterCycles+cfg.HopCycles*cfg.Hops)
+}
+
+// InterDelay computes the arrival time at unit dst of a message of size bytes
+// sent from unit src at time t. src must differ from dst.
+func (n *Network) InterDelay(t sim.Time, src, dst, bytes int) sim.Time {
+	if src == dst {
+		panic(fmt.Sprintf("network: InterDelay within unit %d", src))
+	}
+	cfg := n.cfg
+	ser := sim.Time(float64(bytes) / cfg.LinkBytesPerSec * float64(sim.Second))
+	start := t
+	if busy := n.linkBusy[src][dst]; busy > start {
+		start = busy
+	}
+	n.linkBusy[src][dst] = start + ser
+	n.Stats.InterBits.Add(uint64(bytes * 8))
+	n.Stats.InterMsgs.Inc()
+	return start + ser + cfg.LinkLatency + cfg.CoreClock.Cycles(cfg.LinkFixedCycles)
+}
+
+// Transfer computes the arrival time of a message from (srcUnit) to
+// (dstUnit,dstPort): the intra-unit leg(s) plus the inter-unit link when the
+// units differ. This is the common path for all simulated messages.
+func (n *Network) Transfer(t sim.Time, srcUnit, dstUnit, dstPort, bytes int) sim.Time {
+	if srcUnit == dstUnit {
+		return n.IntraDelay(t, srcUnit, dstPort, bytes)
+	}
+	// source crossbar -> link endpoint
+	out := n.IntraDelay(t, srcUnit, linkPort(dstUnit), bytes)
+	// serial link
+	arr := n.InterDelay(out, srcUnit, dstUnit, bytes)
+	// destination crossbar -> endpoint
+	return n.IntraDelay(arr, dstUnit, dstPort, bytes)
+}
+
+// linkPort is the crossbar port id for the egress link towards unit u.
+func linkPort(u int) int { return -100 - u }
+
+// Well-known destination port ids inside a unit.
+const (
+	PortSE     = -1
+	PortMemory = -2
+)
+
+// PortCore returns the crossbar port id of core c (unit-local index).
+func PortCore(c int) int { return c }

@@ -1,0 +1,109 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"syncron/internal/sim"
+)
+
+func newNet(units int) *Network {
+	return New(DefaultConfig(sim.NewClock(2500)), units)
+}
+
+func TestIntraLatencyComposition(t *testing.T) {
+	n := newNet(2)
+	cfg := n.Config()
+	// 18-byte message: 2 flits + arbiter + 2 hops.
+	got := n.IntraDelay(0, 0, PortSE, 18)
+	want := cfg.CoreClock.Cycles(2 + cfg.ArbiterCycles + cfg.HopCycles*cfg.Hops)
+	if got != want {
+		t.Fatalf("intra delay = %v, want %v", got, want)
+	}
+}
+
+func TestIntraPortQueueing(t *testing.T) {
+	n := newNet(1)
+	a := n.IntraDelay(0, 0, PortSE, 64)
+	b := n.IntraDelay(0, 0, PortSE, 64) // same port: serializes
+	if b <= a {
+		t.Fatalf("same-port messages did not serialize: %v, %v", a, b)
+	}
+	c := n.IntraDelay(0, 0, PortMemory, 64) // different port: parallel
+	if c != a {
+		t.Fatalf("different-port message was delayed: %v vs %v", c, a)
+	}
+}
+
+func TestInterLinkLatency(t *testing.T) {
+	n := newNet(2)
+	cfg := n.Config()
+	got := n.InterDelay(0, 0, 1, 64)
+	ser := sim.Time(float64(64) / cfg.LinkBytesPerSec * float64(sim.Second))
+	want := ser + cfg.LinkLatency + cfg.CoreClock.Cycles(cfg.LinkFixedCycles)
+	if got != want {
+		t.Fatalf("inter delay = %v, want %v", got, want)
+	}
+	// The 40ns fixed latency must dominate a 64B serialization (5ns).
+	if cfg.LinkLatency != 40*sim.Nanosecond {
+		t.Fatalf("default link latency %v, want 40ns (Table 5)", cfg.LinkLatency)
+	}
+}
+
+func TestInterSameUnitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InterDelay within one unit must panic")
+		}
+	}()
+	newNet(2).InterDelay(0, 1, 1, 64)
+}
+
+func TestTransferCountsTraffic(t *testing.T) {
+	n := newNet(2)
+	n.Transfer(0, 0, 0, PortSE, 18)
+	intra0 := n.Stats.IntraBits.Value()
+	if intra0 != 18*8 {
+		t.Fatalf("intra bits = %d, want %d", intra0, 18*8)
+	}
+	n.Transfer(0, 0, 1, PortSE, 18)
+	if n.Stats.InterBits.Value() != 18*8 {
+		t.Fatalf("inter bits = %d, want %d", n.Stats.InterBits.Value(), 18*8)
+	}
+	// A cross-unit transfer also crosses both endpoint crossbars.
+	if n.Stats.IntraBits.Value() != intra0+2*18*8 {
+		t.Fatalf("cross-unit transfer should add 2 intra legs: %d", n.Stats.IntraBits.Value())
+	}
+}
+
+// Property: transfers never complete before they start, cross-unit transfers
+// are never faster than local ones, and bigger messages never arrive earlier
+// (on a fresh network).
+func TestTransferMonotonicity(t *testing.T) {
+	if err := quick.Check(func(bytes uint16, start uint32) bool {
+		b := int(bytes%4096) + 1
+		at := sim.Time(start)
+		n1 := newNet(2)
+		local := n1.Transfer(at, 0, 0, PortSE, b)
+		n2 := newNet(2)
+		remote := n2.Transfer(at, 0, 1, PortSE, b)
+		if local < at || remote < at || remote <= local {
+			return false
+		}
+		n3 := newNet(2)
+		bigger := n3.Transfer(at, 0, 1, PortSE, b+64)
+		return bigger >= remote
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	n := newNet(2)
+	n.Transfer(0, 0, 1, PortSE, 10) // 80 bits inter + 160 bits intra (2 legs)
+	cfg := n.Config()
+	want := 80*cfg.InterPJPerBit + 160*cfg.IntraPJPerBitHop*float64(cfg.Hops)
+	if got := n.Stats.EnergyPJ(cfg); got != want {
+		t.Fatalf("energy = %f, want %f", got, want)
+	}
+}

@@ -1,0 +1,337 @@
+// Package program executes per-core "programs" on the simulated machine.
+//
+// A Program is ordinary Go code written in straight-line style against a
+// *Ctx. Each simulated core runs its program on a dedicated goroutine, but
+// the simulation engine performs a strict synchronous handoff: the engine
+// blocks while a program advances to its next operation, so exactly one
+// goroutine is ever runnable and the simulation is fully deterministic.
+//
+// Cores are in-order and blocking (paper §5): each operation completes
+// before the next one issues.
+package program
+
+import (
+	"fmt"
+
+	"syncron/internal/arch"
+	"syncron/internal/sim"
+)
+
+// Program is the body of one simulated core's execution.
+type Program func(*Ctx)
+
+// Ctx is the interface a Program uses to interact with the simulated world.
+// All methods must be called from the program's own goroutine.
+type Ctx struct {
+	ID   int // global core id
+	Unit int // NDP unit
+	RNG  *sim.RNG
+
+	r   *Runner
+	p   *proc
+	now sim.Time
+}
+
+type opKind int
+
+const (
+	opCompute opKind = iota
+	opRead
+	opWrite
+	opSync
+)
+
+type op struct {
+	kind opKind
+	n    int64
+	addr uint64
+	req  arch.SyncReq
+}
+
+type proc struct {
+	id       int
+	opCh     chan op
+	resCh    chan sim.Time
+	done     bool
+	finishAt sim.Time
+
+	// statistics
+	Instrs   uint64
+	Reads    uint64
+	Writes   uint64
+	SyncOps  uint64
+	SyncWait sim.Time // time spent blocked in acquire-type sync ops
+}
+
+// Runner drives a set of programs to completion on a machine.
+type Runner struct {
+	M     *arch.Machine
+	procs []*proc
+	progs map[int]Program
+	next  int
+
+	// CheckLocks enables the built-in mutual-exclusion checker (on by
+	// default): Ctx.Lock/Unlock verify that no two cores ever hold the same
+	// lock and that unlocks match the holder.
+	CheckLocks bool
+
+	holders map[uint64]int // lock addr -> core id
+
+	// Violations counts checker failures when PanicOnViolation is off.
+	Violations int
+	// PanicOnViolation makes checker failures fatal (default true).
+	PanicOnViolation bool
+}
+
+// NewRunner builds a runner for machine m.
+func NewRunner(m *arch.Machine) *Runner {
+	return &Runner{M: m, CheckLocks: true, PanicOnViolation: true,
+		holders: make(map[uint64]int), progs: make(map[int]Program)}
+}
+
+// Add registers a program for the next free core. It panics if more programs
+// are added than the machine has cores.
+func (r *Runner) Add(p Program) {
+	for r.progs[r.next] != nil {
+		r.next++
+	}
+	r.AddAt(r.next, p)
+}
+
+// AddAt registers a program on a specific core (thread pinning).
+func (r *Runner) AddAt(core int, p Program) {
+	if core < 0 || core >= r.M.NumCores() {
+		panic(fmt.Sprintf("program: core %d out of range (%d cores)", core, r.M.NumCores()))
+	}
+	if r.progs[core] != nil {
+		panic(fmt.Sprintf("program: core %d already has a program", core))
+	}
+	r.progs[core] = p
+}
+
+// AddN registers n copies of the program produced by gen(i) on consecutive
+// free cores.
+func (r *Runner) AddN(n int, gen func(i int) Program) {
+	for i := 0; i < n; i++ {
+		r.Add(gen(i))
+	}
+}
+
+// Run executes all programs to completion and returns the makespan (the time
+// the last core finished).
+func (r *Runner) Run() sim.Time {
+	if r.M.Backend == nil {
+		panic("program: machine has no synchronization backend attached")
+	}
+	r.M.Backend.Attach(r.M)
+	eng := r.M.Engine
+	for i := 0; i < r.M.NumCores(); i++ {
+		pg := r.progs[i]
+		if pg == nil {
+			continue
+		}
+		p := &proc{id: i, opCh: make(chan op), resCh: make(chan sim.Time)}
+		r.procs = append(r.procs, p)
+		ctx := &Ctx{ID: i, Unit: r.M.UnitOf(i), RNG: r.M.RNG.Fork(), r: r, p: p}
+		go func(pg Program, ctx *Ctx) {
+			defer close(ctx.p.opCh)
+			pg(ctx)
+		}(pg, ctx)
+	}
+	for _, p := range r.procs {
+		p := p
+		eng.Schedule(0, func() { r.step(p) })
+	}
+	eng.Run()
+	var makespan sim.Time
+	for _, p := range r.procs {
+		if !p.done {
+			panic(fmt.Sprintf("program: core %d deadlocked at %v (sync op never granted)", p.id, eng.Now()))
+		}
+		if p.finishAt > makespan {
+			makespan = p.finishAt
+		}
+	}
+	return makespan
+}
+
+// step fetches the next operation from core p's program and models it. It is
+// called from engine event context.
+func (r *Runner) step(p *proc) {
+	o, ok := <-p.opCh
+	if !ok {
+		p.done = true
+		p.finishAt = r.M.Engine.Now()
+		return
+	}
+	now := r.M.Engine.Now()
+	switch o.kind {
+	case opCompute:
+		p.Instrs += uint64(o.n)
+		r.resumeAt(p, now+r.M.CoreClock.Cycles(o.n))
+	case opRead:
+		p.Reads++
+		r.resumeAt(p, r.M.CoreAccess(now, p.id, o.addr, false))
+	case opWrite:
+		p.Writes++
+		r.resumeAt(p, r.M.CoreAccess(now, p.id, o.addr, true))
+	case opSync:
+		p.SyncOps++
+		issued := now
+		r.M.Backend.Request(now, p.id, o.req, func(done sim.Time) {
+			if done < issued {
+				panic(fmt.Sprintf("program: backend %s granted at %v before request at %v",
+					r.M.Backend.Name(), done, issued))
+			}
+			if o.req.Op.Blocking() {
+				p.SyncWait += done - issued
+			}
+			r.resumeAt(p, done)
+		})
+	}
+}
+
+// resumeAt hands control back to the program at time t and then fetches its
+// next operation.
+func (r *Runner) resumeAt(p *proc, t sim.Time) {
+	r.M.Engine.Schedule(t, func() {
+		p.resCh <- t
+		r.step(p)
+	})
+}
+
+// violation reports a checker failure.
+func (r *Runner) violation(format string, args ...any) {
+	r.Violations++
+	if r.PanicOnViolation {
+		panic("program: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// ---- Ctx operations ----
+
+func (c *Ctx) do(o op) sim.Time {
+	c.p.opCh <- o
+	c.now = <-c.p.resCh
+	return c.now
+}
+
+// Now returns the core's current simulated time.
+func (c *Ctx) Now() sim.Time { return c.now }
+
+// Compute models n instructions of local computation (1 instruction/cycle).
+func (c *Ctx) Compute(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.do(op{kind: opCompute, n: n})
+}
+
+// Read models a blocking load from addr.
+func (c *Ctx) Read(addr uint64) { c.do(op{kind: opRead, addr: addr}) }
+
+// Write models a blocking store to addr.
+func (c *Ctx) Write(addr uint64) { c.do(op{kind: opWrite, addr: addr}) }
+
+// Sync issues a raw synchronization request.
+func (c *Ctx) Sync(req arch.SyncReq) { c.do(op{kind: opSync, req: req}) }
+
+// Lock acquires the lock at addr (req_sync lock_acquire). When the runner's
+// checker is on, it verifies mutual exclusion.
+func (c *Ctx) Lock(addr uint64) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpLockAcquire, Addr: addr}})
+	if c.r.CheckLocks {
+		if h, held := c.r.holders[addr]; held {
+			c.r.violation("mutual exclusion violated: lock %#x granted to core %d while held by %d at %v",
+				addr, c.ID, h, c.now)
+		}
+		c.r.holders[addr] = c.ID
+	}
+}
+
+// Unlock releases the lock at addr (req_async lock_release).
+func (c *Ctx) Unlock(addr uint64) {
+	if c.r.CheckLocks {
+		if h, held := c.r.holders[addr]; !held || h != c.ID {
+			c.r.violation("core %d released lock %#x it does not hold (holder %d, held=%v)",
+				c.ID, addr, h, held)
+		}
+		delete(c.r.holders, addr)
+	}
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpLockRelease, Addr: addr}})
+}
+
+// BarrierWithinUnit waits on a barrier among n cores of the caller's unit.
+func (c *Ctx) BarrierWithinUnit(addr uint64, n int) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpBarrierWithinUnit, Addr: addr, Info: uint64(n)}})
+}
+
+// BarrierAcrossUnits waits on a barrier among n cores across NDP units.
+func (c *Ctx) BarrierAcrossUnits(addr uint64, n int) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpBarrierAcrossUnits, Addr: addr, Info: uint64(n)}})
+}
+
+// SemWait performs P() on the semaphore at addr with the given initial value
+// (communicated on first touch, as in the paper's API).
+func (c *Ctx) SemWait(addr uint64, initial int) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpSemWait, Addr: addr, Info: uint64(initial)}})
+}
+
+// SemPost performs V() on the semaphore at addr.
+func (c *Ctx) SemPost(addr uint64) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpSemPost, Addr: addr}})
+}
+
+// CondWait atomically releases lock and waits on the condition variable at
+// addr; the lock is re-acquired before return.
+func (c *Ctx) CondWait(addr, lock uint64) {
+	if c.r.CheckLocks {
+		if h, held := c.r.holders[lock]; !held || h != c.ID {
+			c.r.violation("core %d cond_wait on %#x without holding lock %#x", c.ID, addr, lock)
+		}
+		delete(c.r.holders, lock)
+	}
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpCondWait, Addr: addr, Lock: lock}})
+	if c.r.CheckLocks {
+		if h, held := c.r.holders[lock]; held {
+			c.r.violation("cond_wait woke core %d with lock %#x held by %d", c.ID, lock, h)
+		}
+		c.r.holders[lock] = c.ID
+	}
+}
+
+// CondSignal wakes one waiter of the condition variable at addr.
+func (c *Ctx) CondSignal(addr, lock uint64) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpCondSignal, Addr: addr, Lock: lock}})
+}
+
+// CondBroadcast wakes all waiters of the condition variable at addr.
+func (c *Ctx) CondBroadcast(addr, lock uint64) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpCondBroadcast, Addr: addr, Lock: lock}})
+}
+
+// FetchAdd performs the §4.4.1 RMW extension on SynCron backends.
+func (c *Ctx) FetchAdd(addr uint64, delta uint64) {
+	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpFetchAdd, Addr: addr, Info: delta}})
+}
+
+// Stats returns per-core statistics after a run.
+type Stats struct {
+	Core     int
+	Instrs   uint64
+	Reads    uint64
+	Writes   uint64
+	SyncOps  uint64
+	SyncWait sim.Time
+	Finish   sim.Time
+}
+
+// Stats returns statistics for every core, indexed by core id.
+func (r *Runner) Stats() []Stats {
+	out := make([]Stats, len(r.procs))
+	for i, p := range r.procs {
+		out[i] = Stats{Core: p.id, Instrs: p.Instrs, Reads: p.Reads, Writes: p.Writes,
+			SyncOps: p.SyncOps, SyncWait: p.SyncWait, Finish: p.finishAt}
+	}
+	return out
+}

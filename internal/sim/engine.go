@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event struct {
+	At   Time
+	Run  func()
+	seq  uint64 // tie-breaker for deterministic ordering
+	pos  int    // heap index
+	dead bool
+}
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.pos = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; all model code runs on the engine's goroutine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+
+	// Executed counts events run since construction; useful in tests and as a
+	// runaway guard.
+	Executed uint64
+
+	// MaxEvents aborts the run (with a panic) when exceeded; 0 means no limit.
+	MaxEvents uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at time at. Scheduling in the past panics: the model has a
+// causality bug that must not be masked.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{At: at, Run: fn, seq: e.seq}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks ev so it will not run. Cancelling an already-run event is a
+// no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.dead = true
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events in timestamp order until the queue drains or Stop is
+// called. It returns the final simulation time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.Executed++
+		if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+		}
+		ev.Run()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].At > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.Executed++
+		ev.Run()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockConversions(t *testing.T) {
+	core := NewClock(2500) // 2.5 GHz
+	if core.Period != 400*Picosecond {
+		t.Fatalf("2.5GHz period = %v, want 400ps", core.Period)
+	}
+	se := NewClock(1000)
+	if se.Period != 1000*Picosecond {
+		t.Fatalf("1GHz period = %v, want 1ns", se.Period)
+	}
+	if got := core.Cycles(10); got != 4*Nanosecond {
+		t.Fatalf("10 cycles @2.5GHz = %v, want 4ns", got)
+	}
+	if got := core.ToCycles(4 * Nanosecond); got != 10 {
+		t.Fatalf("ToCycles(4ns) = %d, want 10", got)
+	}
+	if got := core.Align(401 * Picosecond); got != 800*Picosecond {
+		t.Fatalf("Align(401ps) = %v, want 800ps", got)
+	}
+	if got := core.Align(800 * Picosecond); got != 800*Picosecond {
+		t.Fatalf("Align(800ps) = %v (already aligned)", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	// Same-timestamp events run in scheduling order.
+	e.Schedule(20, func() { order = append(order, 4) })
+	e.Run()
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.Schedule(5, func() {
+		e.After(5, func() {
+			hits++
+			if e.Now() != 10 {
+				t.Errorf("nested event at %v, want 10", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if hits != 1 {
+		t.Fatal("nested event did not run")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineStopAndRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		e.Schedule(Time(i*10), func() {
+			count++
+			if i == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("Stop at 5th event: ran %d", count)
+	}
+	e.RunUntil(80)
+	if count != 8 {
+		t.Fatalf("RunUntil(80): ran %d, want 8", count)
+	}
+}
+
+func TestRNGDeterminismAndRange(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := NewRNG(seed)
+		v := r.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Bounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestGaugeTimeWeightedMean(t *testing.T) {
+	var g Gauge
+	g.Set(0, 10)
+	g.Set(10, 20) // value 10 held for 10
+	g.Set(30, 0)  // value 20 held for 20
+	// mean = (10*10 + 20*20) / 30 = 16.67
+	if m := g.Mean(); m < 16.6 || m > 16.7 {
+		t.Fatalf("mean = %f, want ~16.67", m)
+	}
+	if g.Max() != 20 {
+		t.Fatalf("max = %f, want 20", g.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Mean() != 3 || h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("histogram stats wrong: n=%d mean=%f min=%f max=%f",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	if sd := h.StdDev(); sd < 1.41 || sd > 1.42 {
+		t.Fatalf("stddev = %f, want ~1.414", sd)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500 * Picosecond:  "500ps",
+		3 * Nanosecond:    "3.000ns",
+		2500 * Nanosecond: "2.500us",
+		3 * Millisecond:   "3.000ms",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}

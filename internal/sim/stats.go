@@ -1,0 +1,108 @@
+package sim
+
+import "math"
+
+// Counter is a monotonically increasing event counter.
+type Counter struct{ n uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge tracks a time-weighted running value, e.g. occupancy of a table. The
+// average is weighted by how long each value was held.
+type Gauge struct {
+	value    float64
+	max      float64
+	lastAt   Time
+	weighted float64
+	spanned  Time
+}
+
+// Set records a new value at time t.
+func (g *Gauge) Set(t Time, v float64) {
+	if t > g.lastAt {
+		g.weighted += g.value * float64(t-g.lastAt)
+		g.spanned += t - g.lastAt
+	}
+	g.lastAt = t
+	g.value = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add adjusts the value by delta at time t.
+func (g *Gauge) Add(t Time, delta float64) { g.Set(t, g.value+delta) }
+
+// Max returns the maximum value observed.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.value }
+
+// Mean returns the time-weighted mean up to the last Set. It returns 0 if no
+// time has elapsed.
+func (g *Gauge) Mean() float64 {
+	if g.spanned == 0 {
+		return g.value
+	}
+	return g.weighted / float64(g.spanned)
+}
+
+// Histogram accumulates scalar samples for latency-style summaries.
+type Histogram struct {
+	n    uint64
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.sum2 += v * v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// StdDev returns the population standard deviation (0 when empty).
+func (h *Histogram) StdDev() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sum2/float64(h.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,247 @@
+// Package syncron is the public API of the SynCron reproduction: a
+// simulator for Near-Data-Processing (NDP) systems with hardware-accelerated
+// synchronization, reproducing Giannoula et al., "SynCron: Efficient
+// Synchronization Support for Near-Data-Processing Architectures"
+// (HPCA 2021).
+//
+// A System is a simulated NDP machine (several NDP units, each with simple
+// in-order cores close to an HBM/HMC/DDR4 stack) plus a synchronization
+// Scheme: SynCron's per-unit Synchronization Engines, the Central or Hier
+// message-passing baselines, coherence-based locks, or an Ideal zero-cost
+// scheme. Programs are ordinary Go functions written against a core Context
+// that issues computation, memory accesses, and the paper's synchronization
+// primitives (locks, within/across-unit barriers, semaphores, condition
+// variables).
+//
+// Quickstart:
+//
+//	sys := syncron.New(syncron.Config{Scheme: syncron.SchemeSynCron})
+//	lock := sys.AllocLocal(0, 64)
+//	counter := 0
+//	sys.Spawn(sys.NumCores(), func(ctx *syncron.Context) {
+//	    for i := 0; i < 100; i++ {
+//	        ctx.Lock(lock)
+//	        counter++
+//	        ctx.Unlock(lock)
+//	        ctx.Compute(200)
+//	    }
+//	})
+//	report := sys.Run()
+//	fmt.Println(report.Makespan, counter)
+package syncron
+
+import (
+	"fmt"
+
+	"syncron/internal/arch"
+	"syncron/internal/baselines"
+	"syncron/internal/coherlock"
+	"syncron/internal/core"
+	"syncron/internal/mem"
+	"syncron/internal/program"
+	"syncron/internal/sim"
+)
+
+// Scheme selects the synchronization mechanism.
+type Scheme string
+
+// Available synchronization schemes.
+const (
+	// SchemeSynCron is the paper's contribution: hierarchical hardware
+	// Synchronization Engines with direct variable buffering and integrated
+	// overflow handling.
+	SchemeSynCron Scheme = "syncron"
+	// SchemeSynCronFlat is SynCron without the hierarchical level (§6.7.1).
+	SchemeSynCronFlat Scheme = "syncron-flat"
+	// SchemeCentral uses one server NDP core for the whole system.
+	SchemeCentral Scheme = "central"
+	// SchemeHier uses one server NDP core per NDP unit.
+	SchemeHier Scheme = "hier"
+	// SchemeIdeal has zero synchronization overhead (upper bound).
+	SchemeIdeal Scheme = "ideal"
+	// SchemeMESILock spins on MESI-coherent test&set locks (motivational).
+	SchemeMESILock Scheme = "mesi-lock"
+	// SchemeTTAS spins with test-and-test&set locks (motivational).
+	SchemeTTAS Scheme = "ttas"
+	// SchemeHTL uses Hierarchical Ticket Locks (motivational).
+	SchemeHTL Scheme = "htl"
+)
+
+// MemoryTech selects the NDP memory technology (Table 5).
+type MemoryTech = mem.Tech
+
+// Memory technologies.
+const (
+	HBM  = mem.HBM  // 2.5D NDP (default)
+	HMC  = mem.HMC  // 3D NDP
+	DDR4 = mem.DDR4 // 2D NDP
+)
+
+// Time is a simulated duration/timestamp in picoseconds.
+type Time = sim.Time
+
+// Common durations, re-exported for configuration.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Config describes the simulated NDP system.
+type Config struct {
+	// Scheme selects the synchronization mechanism (default SchemeSynCron).
+	Scheme Scheme
+	// Units is the number of NDP units (default 4).
+	Units int
+	// CoresPerUnit is the number of client NDP cores per unit (default 15).
+	CoresPerUnit int
+	// Memory selects the memory technology (default HBM).
+	Memory MemoryTech
+	// LinkLatency overrides the inter-unit transfer latency per cache line
+	// (default 40ns).
+	LinkLatency Time
+	// STEntries overrides SynCron's Synchronization Table size (default 64).
+	STEntries int
+	// FairnessThreshold enables the §4.4.2 lock-fairness extension.
+	FairnessThreshold int
+	// Seed makes all simulated randomness reproducible (default 1).
+	Seed uint64
+}
+
+// Context is the interface a simulated core's program uses; see
+// program.Ctx for the full method set (Compute, Read, Write, Lock, Unlock,
+// BarrierWithinUnit, BarrierAcrossUnits, SemWait, SemPost, CondWait,
+// CondSignal, CondBroadcast, FetchAdd, Now).
+type Context = program.Ctx
+
+// Program is one simulated core's code.
+type Program = program.Program
+
+// System is a configured NDP machine ready to run programs.
+type System struct {
+	cfg Config
+	m   *arch.Machine
+	r   *program.Runner
+}
+
+// New builds a system from cfg.
+func New(cfg Config) *System {
+	if cfg.Scheme == "" {
+		cfg.Scheme = SchemeSynCron
+	}
+	acfg := arch.Default()
+	if cfg.Units != 0 {
+		acfg.Units = cfg.Units
+	}
+	if cfg.CoresPerUnit != 0 {
+		acfg.CoresPerUnit = cfg.CoresPerUnit
+	}
+	acfg.Mem = cfg.Memory
+	acfg.LinkLatency = cfg.LinkLatency
+	if cfg.Seed != 0 {
+		acfg.Seed = cfg.Seed
+	}
+	m := arch.NewMachine(acfg)
+	m.Backend = newBackend(cfg)
+	return &System{cfg: cfg, m: m, r: program.NewRunner(m)}
+}
+
+func newBackend(cfg Config) arch.Backend {
+	switch cfg.Scheme {
+	case SchemeSynCron:
+		return core.NewCoordinator(core.Options{Topology: core.TopoHier, HardwareSE: true,
+			STEntries: cfg.STEntries, FairnessThreshold: cfg.FairnessThreshold})
+	case SchemeSynCronFlat:
+		return core.NewCoordinator(core.Options{Topology: core.TopoFlat, HardwareSE: true,
+			STEntries: cfg.STEntries, Name: "syncron-flat"})
+	case SchemeCentral:
+		return baselines.NewCentral()
+	case SchemeHier:
+		return baselines.NewHier()
+	case SchemeIdeal:
+		return baselines.NewIdeal()
+	case SchemeMESILock:
+		return coherlock.New(coherlock.MESILock)
+	case SchemeTTAS:
+		return coherlock.New(coherlock.TTAS)
+	case SchemeHTL:
+		return coherlock.New(coherlock.HTL)
+	default:
+		panic(fmt.Sprintf("syncron: unknown scheme %q", cfg.Scheme))
+	}
+}
+
+// NumCores returns the number of client NDP cores.
+func (s *System) NumCores() int { return s.m.NumCores() }
+
+// UnitOf returns the NDP unit hosting core id.
+func (s *System) UnitOf(core int) int { return s.m.UnitOf(core) }
+
+// AllocLocal reserves cacheable memory (thread-private or shared read-only
+// data, and synchronization variables) in the given NDP unit and returns its
+// address. The unit determines the variable's Master SE.
+func (s *System) AllocLocal(unit int, size uint64) uint64 { return s.m.Alloc(unit, size) }
+
+// AllocShared reserves shared read-write memory in the given NDP unit; such
+// data is uncacheable under the software-assisted coherence model.
+func (s *System) AllocShared(unit int, size uint64) uint64 { return s.m.AllocShared(unit, size) }
+
+// Spawn registers n copies of prog on consecutive free cores.
+func (s *System) Spawn(n int, prog Program) {
+	s.r.AddN(n, func(int) Program { return prog })
+}
+
+// SpawnEach registers programs produced by gen(i) on n consecutive cores.
+func (s *System) SpawnEach(n int, gen func(i int) Program) { s.r.AddN(n, gen) }
+
+// SpawnAt pins a program to a specific core.
+func (s *System) SpawnAt(core int, prog Program) { s.r.AddAt(core, prog) }
+
+// Report summarizes a finished run.
+type Report struct {
+	// Makespan is when the last core finished.
+	Makespan Time
+	// Scheme is the synchronization mechanism used.
+	Scheme string
+	// Energy breakdown in picojoules.
+	CacheEnergyPJ, NetworkEnergyPJ, MemoryEnergyPJ float64
+	// Data movement in bytes.
+	BytesInsideUnits, BytesAcrossUnits uint64
+	// SynCron-specific statistics (zero for other schemes).
+	STOccupancyMax, STOccupancyMean, OverflowedFraction float64
+	// PerCore statistics.
+	PerCore []program.Stats
+}
+
+// TotalEnergyPJ returns the summed energy.
+func (r Report) TotalEnergyPJ() float64 {
+	return r.CacheEnergyPJ + r.NetworkEnergyPJ + r.MemoryEnergyPJ
+}
+
+// Run executes all registered programs to completion and reports.
+func (s *System) Run() Report {
+	makespan := s.r.Run()
+	e := s.m.EnergyBreakdown()
+	rep := Report{
+		Makespan:        makespan,
+		Scheme:          s.m.Backend.Name(),
+		CacheEnergyPJ:   e.CachePJ,
+		NetworkEnergyPJ: e.NetworkPJ,
+		MemoryEnergyPJ:  e.MemoryPJ,
+		PerCore:         s.r.Stats(),
+	}
+	rep.BytesInsideUnits, rep.BytesAcrossUnits = s.m.DataMovement()
+	if bs, ok := s.m.Backend.(arch.BackendStats); ok {
+		rep.STOccupancyMax, rep.STOccupancyMean = bs.STOccupancy()
+		rep.OverflowedFraction = bs.OverflowedFraction()
+	}
+	return rep
+}
+
+// Machine exposes the underlying machine for advanced use (experiments,
+// custom workloads in internal packages).
+func (s *System) Machine() *arch.Machine { return s.m }
+
+// Runner exposes the underlying program runner (e.g. to disable the built-in
+// lock checker).
+func (s *System) Runner() *program.Runner { return s.r }

@@ -1,0 +1,104 @@
+package syncron_test
+
+import (
+	"testing"
+
+	"syncron"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := syncron.New(syncron.Config{Scheme: syncron.SchemeSynCron, Units: 2, CoresPerUnit: 4})
+	lock := sys.AllocLocal(0, 64)
+	counter := sys.AllocShared(1, 64)
+	value := 0
+	sys.Spawn(sys.NumCores(), func(ctx *syncron.Context) {
+		for i := 0; i < 20; i++ {
+			ctx.Lock(lock)
+			ctx.Read(counter)
+			value++
+			ctx.Write(counter)
+			ctx.Unlock(lock)
+			ctx.Compute(100)
+		}
+	})
+	rep := sys.Run()
+	if value != sys.NumCores()*20 {
+		t.Fatalf("counter = %d, want %d", value, sys.NumCores()*20)
+	}
+	if rep.Makespan <= 0 || rep.TotalEnergyPJ() <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.Scheme != "syncron" {
+		t.Fatalf("scheme = %q", rep.Scheme)
+	}
+	if len(rep.PerCore) != sys.NumCores() {
+		t.Fatalf("per-core stats for %d cores", len(rep.PerCore))
+	}
+}
+
+func TestAllSchemesConstructAndRun(t *testing.T) {
+	for _, scheme := range []syncron.Scheme{
+		syncron.SchemeSynCron, syncron.SchemeSynCronFlat, syncron.SchemeCentral,
+		syncron.SchemeHier, syncron.SchemeIdeal, syncron.SchemeMESILock,
+		syncron.SchemeTTAS, syncron.SchemeHTL,
+	} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			sys := syncron.New(syncron.Config{Scheme: scheme, Units: 2, CoresPerUnit: 2})
+			lock := sys.AllocLocal(0, 64)
+			sys.Spawn(sys.NumCores(), func(ctx *syncron.Context) {
+				for i := 0; i < 5; i++ {
+					ctx.Lock(lock)
+					ctx.Compute(10)
+					ctx.Unlock(lock)
+				}
+			})
+			if rep := sys.Run(); rep.Makespan <= 0 {
+				t.Fatal("no progress")
+			}
+		})
+	}
+}
+
+func TestSchemeOrderingHoldsAtAPILevel(t *testing.T) {
+	run := func(scheme syncron.Scheme) syncron.Time {
+		sys := syncron.New(syncron.Config{Scheme: scheme})
+		bar := sys.AllocLocal(0, 64)
+		n := sys.NumCores()
+		sys.Spawn(n, func(ctx *syncron.Context) {
+			for i := 0; i < 10; i++ {
+				ctx.Compute(100)
+				ctx.BarrierAcrossUnits(bar, n)
+			}
+		})
+		return sys.Run().Makespan
+	}
+	ideal := run(syncron.SchemeIdeal)
+	sc := run(syncron.SchemeSynCron)
+	central := run(syncron.SchemeCentral)
+	if !(ideal < sc && sc < central) {
+		t.Fatalf("ordering violated: ideal=%v syncron=%v central=%v", ideal, sc, central)
+	}
+}
+
+func TestSTOccupancyReported(t *testing.T) {
+	sys := syncron.New(syncron.Config{Scheme: syncron.SchemeSynCron, Units: 2, CoresPerUnit: 4, STEntries: 8})
+	locks := make([]uint64, 16)
+	for i := range locks {
+		locks[i] = sys.AllocLocal(i%2, 64)
+	}
+	sys.SpawnEach(sys.NumCores(), func(i int) syncron.Program {
+		return func(ctx *syncron.Context) {
+			for k := 0; k < 10; k++ {
+				l := locks[(i*3+k)%len(locks)]
+				ctx.Lock(l)
+				ctx.Compute(50)
+				ctx.Unlock(l)
+			}
+		}
+	})
+	rep := sys.Run()
+	if rep.STOccupancyMax <= 0 {
+		t.Fatal("ST occupancy not reported")
+	}
+}
