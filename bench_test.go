@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"syncron"
 	"syncron/internal/exp"
 )
 
@@ -141,3 +142,27 @@ func BenchmarkTable8(b *testing.B) {
 	ts := runExp(b, "table8", 1)
 	b.ReportMetric(lastFloat(ts[0]), "cortexA7_power_mW")
 }
+
+// benchSweep measures the public Sweep API end to end (expansion, the worker
+// pool, per-run seeding) on a 2-scheme x 2-workload grid.
+func benchSweep(b *testing.B, workers int) {
+	sw := syncron.Sweep{
+		Workloads: []string{"stack", "lock"},
+		Schemes:   []syncron.Scheme{syncron.SchemeSynCron, syncron.SchemeCentral},
+		Params:    syncron.WorkloadParams{Scale: benchScale, OpsPerCore: 8, Rounds: 10},
+		Workers:   workers,
+	}
+	var results []syncron.RunResult
+	for i := 0; i < b.N; i++ {
+		results = sw.Run()
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			b.Fatalf("%s under %s failed: %s", r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+		}
+	}
+	b.ReportMetric(float64(len(results)), "runs")
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }

@@ -8,7 +8,9 @@
 //
 // Each experiment prints one or more aligned text tables with the same rows
 // and series as the corresponding paper artifact, plus a note recalling the
-// paper's headline numbers for comparison.
+// paper's headline numbers for comparison. Every run underneath is executed
+// through the public syncron workload registry and executor; for ad-hoc
+// grids and machine-readable output use `syncron-sim sweep` instead.
 package main
 
 import (

@@ -1,137 +1,270 @@
-// Command syncron-sim runs a single workload on a single configuration and
-// prints a detailed report — the quickest way to poke at the simulator.
+// Command syncron-sim runs simulations through the public syncron API: a
+// single workload on a single configuration, or a whole
+// (workload x scheme x config) sweep on a bounded worker pool.
 //
-// Examples:
+// Single runs (the default subcommand):
 //
 //	syncron-sim -workload stack -scheme syncron -cores 60
-//	syncron-sim -workload pr.wk -scheme hier -units 2 -scale 0.2
-//	syncron-sim -workload ts.air -scheme central -mem ddr4
-//	syncron-sim -workload lock -interval 200 -scheme syncron
+//	syncron-sim run -workload pr.wk -scheme hier -units 2 -scale 0.2
+//	syncron-sim run -workload ts.air -scheme central -mem ddr4
+//	syncron-sim run -workload lock -interval 200 -scheme syncron
+//
+// Sweeps (results as JSON, optionally CSV):
+//
+//	syncron-sim sweep -workloads stack,queue -schemes central,hier,syncron,ideal
+//	syncron-sim sweep -workloads lock,barrier -units-list 1,2,4 -workers 8 -json out.json
+//	syncron-sim sweep -workloads ts.air -schemes syncron -st-list 16,32,64 -csv out.csv
+//
+// Discovery:
+//
+//	syncron-sim list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
-	"syncron/internal/core"
-	"syncron/internal/exp"
-	"syncron/internal/mem"
-	"syncron/internal/sim"
-	"syncron/internal/workloads/ds"
-	"syncron/internal/workloads/graphs"
-	"syncron/internal/workloads/tseries"
-	"syncron/internal/workloads/ubench"
+	"syncron"
 )
 
 func main() {
-	var (
-		workload = flag.String("workload", "stack", "workload: a data structure ("+strings.Join(ds.Names(), ", ")+"), app.graph (e.g. pr.wk), ts.air/ts.pow, or a primitive (lock, barrier, semaphore, condvar)")
-		scheme   = flag.String("scheme", "syncron", "central | hier | syncron | flat | ideal | mesi-lock | ttas | htl")
-		units    = flag.Int("units", 4, "NDP units")
-		cores    = flag.Int("cores", 0, "total client cores (default units*15)")
-		memTech  = flag.String("mem", "hbm", "hbm | hmc | ddr4")
-		linkNS   = flag.Int64("link-ns", 0, "inter-unit transfer latency in ns (default 40)")
-		scale    = flag.Float64("scale", 0.25, "workload scale factor")
-		ops      = flag.Int("ops", 40, "operations per core (data structures)")
-		interval = flag.Int64("interval", 200, "instructions between sync points (primitives)")
-		stSize   = flag.Int("st", 0, "SynCron ST entries (default 64)")
-		fairness = flag.Int("fairness", 0, "lock fairness threshold (0 = off)")
-		metis    = flag.Bool("metis", false, "use the METIS-like greedy graph partitioner")
-	)
-	flag.Parse()
-
-	spec := exp.Spec{
-		Backend:   *scheme,
-		Units:     *units,
-		Link:      sim.Time(*linkNS) * sim.Nanosecond,
-		STEntries: *stSize,
-		Fairness:  *fairness,
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
-	if *cores != 0 {
-		spec.Cores = *cores / *units
-	}
-	switch strings.ToLower(*memTech) {
-	case "hbm":
-		spec.Mem = mem.HBM
-	case "hmc":
-		spec.Mem = mem.HMC
-	case "ddr4":
-		spec.Mem = mem.DDR4
+	switch cmd {
+	case "run":
+		runCmd(args)
+	case "sweep":
+		sweepCmd(args)
+	case "list":
+		listCmd()
 	default:
-		fatal("unknown memory technology %q", *memTech)
+		fatal("unknown subcommand %q (want run, sweep, or list)", cmd)
 	}
-
-	res, kind := run(spec, *workload, *scale, *ops, *interval, *metis)
-	report(*workload, kind, spec, res)
 }
 
-func run(spec exp.Spec, workload string, scale float64, ops int, interval int64, metis bool) (exp.Result, string) {
-	// Primitive microbenchmarks.
-	for _, p := range ubench.Primitives() {
-		if workload == string(p) {
-			return exp.RunUbench(spec, p, interval, int(100*scale)+10), "primitive"
-		}
+// listCmd prints every registered workload grouped by kind.
+func listCmd() {
+	for _, kind := range []syncron.WorkloadKind{syncron.KindPrimitive,
+		syncron.KindDataStructure, syncron.KindGraph, syncron.KindTimeSeries} {
+		fmt.Printf("%-17s %s\n", kind, strings.Join(syncron.WorkloadNamesOfKind(kind), ", "))
 	}
-	// Data structures.
-	for _, name := range ds.Names() {
-		if workload == name {
-			size := int(float64(ds.PaperSize(name)) * scale / 40)
-			if size < 32 {
-				size = 32
-			}
-			if name == "arraymap" {
-				size = 10
-			}
-			return exp.RunDS(spec, name, size, ops), "data structure"
-		}
-	}
-	// app.graph / ts.input combos.
-	parts := strings.SplitN(workload, ".", 2)
-	if len(parts) == 2 {
-		app, input := parts[0], parts[1]
-		if app == "ts" {
-			for _, in := range tseries.Inputs() {
-				if input == in {
-					return exp.RunTS(spec, input, scale), "time series"
-				}
-			}
-		}
-		for _, a := range graphs.Apps() {
-			if app == a {
-				for _, in := range graphs.Inputs() {
-					if input == in {
-						return exp.RunGraph(spec, exp.GraphRun{App: app, Input: input}, scale, metis), "graph application"
-					}
-				}
-			}
-		}
-	}
-	fatal("unknown workload %q", workload)
-	panic("unreachable")
 }
 
-func report(workload, kind string, spec exp.Spec, res exp.Result) {
-	fmt.Printf("workload        %s (%s)\n", workload, kind)
-	fmt.Printf("scheme          %s\n", spec.Backend)
+// configFlags registers the flags shared by run and sweep and returns a
+// closure resolving them into a Config, plus the raw -cores flag (total
+// client cores) so sweep can re-derive CoresPerUnit per grid point.
+func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int) {
+	var (
+		units    = fs.Int("units", 4, "NDP units")
+		cores    = fs.Int("cores", 0, "total client cores (default units*15)")
+		memTech  = fs.String("mem", "hbm", "hbm | hmc | ddr4")
+		linkNS   = fs.Int64("link-ns", 0, "inter-unit transfer latency in ns (default 40)")
+		stSize   = fs.Int("st", 0, "SynCron ST entries (default 64)")
+		fairness = fs.Int("fairness", 0, "lock fairness threshold (0 = off)")
+		seed     = fs.Uint64("seed", 0, "simulation seed (0 = default)")
+	)
+	return func() syncron.Config {
+		if *units <= 0 {
+			fatal("-units must be positive (got %d)", *units)
+		}
+		memory, err := syncron.ParseMemory(*memTech)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg := syncron.Config{
+			Units:             *units,
+			Memory:            memory,
+			LinkLatency:       syncron.Time(*linkNS) * syncron.Nanosecond,
+			STEntries:         *stSize,
+			FairnessThreshold: *fairness,
+			Seed:              *seed,
+		}
+		if *cores != 0 {
+			cfg.CoresPerUnit = *cores / *units
+		}
+		return cfg
+	}, cores
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		workload = fs.String("workload", "stack", "workload name; see `syncron-sim list`")
+		scheme   = fs.String("scheme", "syncron", "central | hier | syncron | flat | ideal | mesi-lock | ttas | htl")
+		scale    = fs.Float64("scale", 0.25, "workload scale factor")
+		ops      = fs.Int("ops", 40, "operations per core (data structures)")
+		interval = fs.Int64("interval", 200, "instructions between sync points (primitives)")
+		metis    = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
+	)
+	cfg, _ := configFlags(fs)
+	fs.Parse(args)
+
+	spec := syncron.RunSpec{
+		Workload: *workload,
+		Config:   cfg(),
+		Params: syncron.WorkloadParams{Scale: *scale, OpsPerCore: *ops,
+			Interval: *interval, Metis: *metis},
+	}
+	sch, err := syncron.ParseScheme(*scheme)
+	if err != nil {
+		fatal("%v", err)
+	}
+	spec.Config.Scheme = sch
+	if _, ok := syncron.LookupWorkload(*workload); !ok {
+		fatal("unknown workload %q (try `syncron-sim list`)", *workload)
+	}
+	res := syncron.Execute(spec)
+	if res.Err != "" {
+		fatal("%s", res.Err)
+	}
+	report(res)
+}
+
+func report(res syncron.RunResult) {
+	fmt.Printf("workload        %s (%s)\n", res.Spec.Workload, res.Kind)
+	fmt.Printf("scheme          %s\n", res.Spec.Config.Scheme)
 	fmt.Printf("makespan        %v\n", res.Makespan)
 	if res.Ops > 0 {
-		fmt.Printf("throughput      %.1f ops/ms (%.3f Mops/s)\n", res.OpsPerMs(), res.MopsPerSec())
+		fmt.Printf("throughput      %.1f ops/ms (%.3f Mops/s)\n", res.OpsPerMs, res.MopsPerSec)
 	}
 	fmt.Printf("energy          cache %.1f uJ, network %.1f uJ, memory %.1f uJ (total %.1f uJ)\n",
-		res.Energy.CachePJ/1e6, res.Energy.NetworkPJ/1e6, res.Energy.MemoryPJ/1e6, res.Energy.Total()/1e6)
+		res.CacheEnergyPJ/1e6, res.NetworkEnergyPJ/1e6, res.MemoryEnergyPJ/1e6, res.TotalEnergyPJ()/1e6)
 	fmt.Printf("data movement   %.1f KB inside units, %.1f KB across units\n",
-		float64(res.IntraB)/1024, float64(res.InterB)/1024)
-	if res.STMax > 0 || res.OverflowF > 0 {
-		fmt.Printf("ST occupancy    max %.1f%%, mean %.2f%%\n", res.STMax*100, res.STMean*100)
-		fmt.Printf("overflowed      %.2f%% of requests\n", res.OverflowF*100)
+		float64(res.BytesInsideUnits)/1024, float64(res.BytesAcrossUnits)/1024)
+	if res.STOccupancyMax > 0 || res.OverflowedFraction > 0 {
+		fmt.Printf("ST occupancy    max %.1f%%, mean %.2f%%\n", res.STOccupancyMax*100, res.STOccupancyMean*100)
+		fmt.Printf("overflowed      %.2f%% of requests\n", res.OverflowedFraction*100)
 	}
+}
+
+func sweepCmd(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		workloads = fs.String("workloads", "stack,queue", "comma-separated workload names; see `syncron-sim list`")
+		schemes   = fs.String("schemes", "central,hier,syncron,ideal", "comma-separated schemes")
+		unitsList = fs.String("units-list", "", "comma-separated NDP unit counts (grid axis; empty = -units)")
+		stList    = fs.String("st-list", "", "comma-separated SynCron ST sizes (grid axis; empty = -st)")
+		scale     = fs.Float64("scale", 0.25, "workload scale factor")
+		ops       = fs.Int("ops", 40, "operations per core (data structures)")
+		interval  = fs.Int64("interval", 200, "instructions between sync points (primitives)")
+		metis     = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
+		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
+		jsonOut   = fs.String("json", "-", "JSON output path (- = stdout)")
+		csvOut    = fs.String("csv", "", "also write CSV to this path")
+	)
+	cfg, cores := configFlags(fs)
+	fs.Parse(args)
+
+	names := splitList(*workloads)
+	for _, name := range names {
+		if _, ok := syncron.LookupWorkload(name); !ok {
+			fatal("unknown workload %q (try `syncron-sim list`)", name)
+		}
+	}
+	sw := syncron.Sweep{
+		Workloads: names,
+		Base:      cfg(),
+		Params: syncron.WorkloadParams{Scale: *scale, OpsPerCore: *ops,
+			Interval: *interval, Metis: *metis},
+		Workers:  *workers,
+		BaseSeed: *baseSeed,
+	}
+	for _, name := range splitList(*schemes) {
+		sch, err := syncron.ParseScheme(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		sw.Schemes = append(sw.Schemes, sch)
+	}
+	for _, s := range splitList(*unitsList) {
+		u := parseInt(s, "units-list")
+		if u <= 0 {
+			fatal("-units-list values must be positive (got %d)", u)
+		}
+		sw.Units = append(sw.Units, u)
+	}
+	for _, s := range splitList(*stList) {
+		sw.STEntries = append(sw.STEntries, parseInt(s, "st-list"))
+	}
+
+	specs := sw.Expand()
+	// -cores fixes the TOTAL client core count, so per-unit cores must track
+	// the -units-list axis rather than the base -units value.
+	if *cores != 0 {
+		for i := range specs {
+			specs[i].Config.CoresPerUnit = *cores / specs[i].Config.Units
+		}
+	}
+	fmt.Fprintf(os.Stderr, "syncron-sim: sweeping %d runs on %d workloads x %d schemes\n",
+		len(specs), len(sw.Workloads), len(sw.Schemes))
+	results := syncron.RunSpecs(specs, sw.Workers, sw.BaseSeed)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "syncron-sim: %s under %s failed: %s\n",
+				r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+		}
+	}
+	if *jsonOut == "-" {
+		if err := syncron.WriteJSON(os.Stdout, results); err != nil {
+			fatal("writing JSON: %v", err)
+		}
+	} else {
+		writeFile(*jsonOut, results, syncron.WriteJSON)
+	}
+	if *csvOut != "" {
+		writeFile(*csvOut, results, syncron.WriteCSV)
+	}
+	if failed > 0 {
+		fatal("%d of %d runs failed", failed, len(results))
+	}
+}
+
+// writeFile emits results to path, failing loudly on write AND close errors
+// so a truncated results file never exits 0.
+func writeFile(path string, results []syncron.RunResult, emit func(io.Writer, []syncron.RunResult) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := emit(f, results); err != nil {
+		f.Close()
+		fatal("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing %s: %v", path, err)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInt(s, flagName string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fatal("bad -%s value %q", flagName, s)
+	}
+	return v
 }
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "syncron-sim: "+format+"\n", args...)
 	os.Exit(2)
 }
-
-var _ = core.OverflowIntegrated

@@ -1,0 +1,3 @@
+module syncron
+
+go 1.24

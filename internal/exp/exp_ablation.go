@@ -47,8 +47,7 @@ func init() {
 			}
 			central := RunTS(Spec{Backend: "central"}, "air", scale)
 			for _, cyc := range []int64{4, 8, 12, 24, 48} {
-				s := Spec{Backend: "syncron"}
-				res := runTSWithSECycles(s, "air", scale, cyc)
+				res := RunTS(Spec{Backend: "syncron", SEService: cyc}, "air", scale)
 				t.Rows = append(t.Rows, []string{fmt.Sprint(cyc),
 					f2(float64(central.Makespan) / float64(res.Makespan))})
 			}

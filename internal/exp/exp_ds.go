@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"syncron/internal/core"
+	"syncron"
 	"syncron/internal/sim"
 	"syncron/internal/workloads/ds"
 )
@@ -137,9 +137,9 @@ func init() {
 			}
 			for _, st := range []int{16, 32, 48, 64, 128, 256} {
 				integ := RunDS(Spec{Backend: "syncron", STEntries: st}, "bst_fg", size, ops)
-				cen := RunDS(Spec{Backend: "syncron", STEntries: st, Overflow: core.OverflowCentral},
+				cen := RunDS(Spec{Backend: "syncron", STEntries: st, Overflow: syncron.OverflowCentral},
 					"bst_fg", size, ops)
-				dis := RunDS(Spec{Backend: "syncron", STEntries: st, Overflow: core.OverflowDistrib},
+				dis := RunDS(Spec{Backend: "syncron", STEntries: st, Overflow: syncron.OverflowDistrib},
 					"bst_fg", size, ops)
 				t.Rows = append(t.Rows, []string{fmt.Sprint(st),
 					f1(integ.OpsPerMs()), f1(cen.OpsPerMs()), f1(dis.OpsPerMs()),

@@ -2,30 +2,7 @@ package exp
 
 import (
 	"fmt"
-
-	"syncron/internal/program"
-	"syncron/internal/sim"
 )
-
-// RunLockPinned runs an empty-critical-section lock microbenchmark with the
-// given threads pinned to specific cores, returning the Result (used by
-// Table 1 and as a helper elsewhere).
-func RunLockPinned(s Spec, pinned []int, rounds int, interval int64) Result {
-	m := s.machine()
-	r := program.NewRunner(m)
-	lock := m.Alloc(0, 64)
-	for _, c := range pinned {
-		r.AddAt(c, func(ctx *program.Ctx) {
-			for k := 0; k < rounds; k++ {
-				ctx.Lock(lock)
-				ctx.Unlock(lock)
-				ctx.Compute(interval)
-			}
-		})
-	}
-	t := r.Run()
-	return collect(m, t, uint64(rounds*len(pinned)))
-}
 
 func init() {
 	register(&Experiment{
@@ -129,5 +106,3 @@ func labels[T any](cases []struct {
 	}
 	return out
 }
-
-var _ = sim.Time(0)

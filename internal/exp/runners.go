@@ -3,76 +3,52 @@ package exp
 import (
 	"fmt"
 
+	"syncron"
 	"syncron/internal/arch"
-	"syncron/internal/baselines"
-	"syncron/internal/coherlock"
-	"syncron/internal/core"
 	"syncron/internal/mem"
-	"syncron/internal/program"
 	"syncron/internal/sim"
-	"syncron/internal/workloads/ds"
 	"syncron/internal/workloads/graphs"
-	"syncron/internal/workloads/tseries"
 	"syncron/internal/workloads/ubench"
 )
 
-// Spec describes one simulation configuration.
+// Spec describes one simulation configuration in experiment shorthand. It is
+// a thin veneer over the public syncron.Config: every run is executed
+// through the public workload registry and sweep executor, so the harness
+// has no scheme or workload dispatch of its own.
 type Spec struct {
-	Backend string // central | hier | syncron | flat | ideal | mesi-lock | ttas | htl
+	Backend string // scheme name; "flat" is accepted for syncron-flat
 	Units   int
 	Cores   int // cores per unit
 	Link    sim.Time
 	Mem     mem.Tech
 
 	STEntries int
-	Overflow  core.OverflowPolicy
+	Overflow  syncron.OverflowPolicy
 	Fairness  int
+	SEService int64 // SE service-cycle override (0 = the paper's 12)
 	Seed      uint64
 }
 
 // Schemes is the Figure order of the four main comparison points.
 var Schemes = []string{"central", "hier", "syncron", "ideal"}
 
-func (s Spec) machine() *arch.Machine {
-	cfg := arch.Default()
-	if s.Units != 0 {
-		cfg.Units = s.Units
+// Config translates the shorthand into the public configuration.
+func (s Spec) Config() syncron.Config {
+	scheme, err := syncron.ParseScheme(s.Backend)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
 	}
-	if s.Cores != 0 {
-		cfg.CoresPerUnit = s.Cores
-	}
-	cfg.LinkLatency = s.Link
-	cfg.Mem = s.Mem
-	if s.Seed != 0 {
-		cfg.Seed = s.Seed
-	}
-	m := arch.NewMachine(cfg)
-	m.Backend = s.backend()
-	return m
-}
-
-func (s Spec) backend() arch.Backend {
-	switch s.Backend {
-	case "central":
-		return baselines.NewCentral()
-	case "hier":
-		return baselines.NewHier()
-	case "ideal":
-		return baselines.NewIdeal()
-	case "syncron":
-		return core.NewCoordinator(core.Options{Topology: core.TopoHier, HardwareSE: true,
-			STEntries: s.STEntries, Overflow: s.Overflow, FairnessThreshold: s.Fairness})
-	case "flat":
-		return core.NewCoordinator(core.Options{Topology: core.TopoFlat, HardwareSE: true,
-			STEntries: s.STEntries, Name: "syncron-flat"})
-	case "mesi-lock":
-		return coherlock.New(coherlock.MESILock)
-	case "ttas":
-		return coherlock.New(coherlock.TTAS)
-	case "htl":
-		return coherlock.New(coherlock.HTL)
-	default:
-		panic(fmt.Sprintf("exp: unknown backend %q", s.Backend))
+	return syncron.Config{
+		Scheme:            scheme,
+		Units:             s.Units,
+		CoresPerUnit:      s.Cores,
+		Memory:            s.Mem,
+		LinkLatency:       s.Link,
+		STEntries:         s.STEntries,
+		Overflow:          s.Overflow,
+		FairnessThreshold: s.Fairness,
+		SEServiceCycles:   s.SEService,
+		Seed:              s.Seed,
 	}
 }
 
@@ -104,43 +80,51 @@ func (r Result) OpsPerMs() float64 {
 	return float64(r.Ops) / (r.Makespan.Seconds() * 1e3)
 }
 
-func collect(m *arch.Machine, makespan sim.Time, ops uint64) Result {
-	res := Result{Makespan: makespan, Ops: ops, Energy: m.EnergyBreakdown()}
-	res.IntraB, res.InterB = m.DataMovement()
-	if bs, ok := m.Backend.(arch.BackendStats); ok {
-		res.STMax, res.STMean = bs.STOccupancy()
-		res.OverflowF = bs.OverflowedFraction()
+// execute runs one spec through the public executor; experiment runs are
+// trusted inputs, so failures (bad spec, failed functional check) panic.
+func execute(spec syncron.RunSpec) Result {
+	rr := syncron.Execute(spec)
+	if rr.Err != "" {
+		panic(fmt.Sprintf("exp: %s under %s: %s", spec.Workload, spec.Config.Scheme, rr.Err))
 	}
-	return res
+	return Result{
+		Makespan: rr.Makespan,
+		Ops:      rr.Ops,
+		Energy: arch.Energy{CachePJ: rr.CacheEnergyPJ, NetworkPJ: rr.NetworkEnergyPJ,
+			MemoryPJ: rr.MemoryEnergyPJ},
+		IntraB:    rr.BytesInsideUnits,
+		InterB:    rr.BytesAcrossUnits,
+		STMax:     rr.STOccupancyMax,
+		STMean:    rr.STOccupancyMean,
+		OverflowF: rr.OverflowedFraction,
+	}
+}
+
+// fromReport converts a public Report for runs driven directly on a System.
+func fromReport(rep syncron.Report, ops uint64) Result {
+	return Result{
+		Makespan: rep.Makespan,
+		Ops:      ops,
+		Energy: arch.Energy{CachePJ: rep.CacheEnergyPJ, NetworkPJ: rep.NetworkEnergyPJ,
+			MemoryPJ: rep.MemoryEnergyPJ},
+		IntraB:    rep.BytesInsideUnits,
+		InterB:    rep.BytesAcrossUnits,
+		STMax:     rep.STOccupancyMax,
+		STMean:    rep.STOccupancyMean,
+		OverflowF: rep.OverflowedFraction,
+	}
 }
 
 // RunUbench runs a Figure-10 microbenchmark.
 func RunUbench(s Spec, prim ubench.Primitive, interval int64, rounds int) Result {
-	m := s.machine()
-	r := program.NewRunner(m)
-	ubench.Build(m, r, ubench.Config{Primitive: prim, Interval: interval, Rounds: rounds})
-	t := r.Run()
-	return collect(m, t, uint64(rounds*m.NumCores()))
+	return execute(syncron.RunSpec{Workload: string(prim), Config: s.Config(),
+		Params: syncron.WorkloadParams{Interval: interval, Rounds: rounds}})
 }
 
 // RunDS runs a pointer-chasing data structure benchmark.
 func RunDS(s Spec, name string, size, opsPerCore int) Result {
-	m := s.machine()
-	rng := sim.NewRNG(m.Cfg.Seed + 100)
-	d := ds.New(name, m, ds.Config{Size: size}, rng)
-	r := program.NewRunner(m)
-	r.AddN(m.NumCores(), func(i int) program.Program {
-		return func(ctx *program.Ctx) {
-			for k := 0; k < opsPerCore; k++ {
-				d.Op(ctx, ctx.RNG)
-			}
-		}
-	})
-	t := r.Run()
-	if err := d.Check(); err != nil {
-		panic(fmt.Sprintf("exp: %s failed functional check under %s: %v", name, s.Backend, err))
-	}
-	return collect(m, t, uint64(opsPerCore*m.NumCores()))
+	return execute(syncron.RunSpec{Workload: name, Config: s.Config(),
+		Params: syncron.WorkloadParams{Size: size, OpsPerCore: opsPerCore}})
 }
 
 // dsSize scales Table-6 sizes; pointer-heavy structures are kept within
@@ -183,57 +167,31 @@ func RunGraph(s Spec, run GraphRun, scale float64, metis bool) Result {
 	if run.App == "ts" {
 		return RunTS(s, run.Input, scale)
 	}
-	m := s.machine()
-	g := graphs.Load(run.Input, scale)
-	var part graphs.Partition
-	if metis {
-		part = graphs.GreedyPartition(g, m.Cfg.Units)
-	} else {
-		part = graphs.HashPartition(g, m.Cfg.Units)
-	}
-	ly := graphs.NewLayout(m, g, part)
-	a := graphs.NewApp(m, ly, graphs.RunConfig{App: run.App, Graph: g, Part: part})
-	r := program.NewRunner(m)
-	a.Build(m, r)
-	t := r.Run()
-	if err := a.Check(); err != nil {
-		panic(fmt.Sprintf("exp: %s.%s failed functional check under %s: %v",
-			run.App, run.Input, s.Backend, err))
-	}
-	return collect(m, t, uint64(g.M))
-}
-
-// runTSWithSECycles runs ts with a SynCron backend whose SE service time is
-// overridden (ablation-seservice).
-func runTSWithSECycles(s Spec, input string, scale float64, cycles int64) Result {
-	cfg := arch.Default()
-	if s.Units != 0 {
-		cfg.Units = s.Units
-	}
-	m := arch.NewMachine(cfg)
-	m.Backend = core.NewCoordinator(core.Options{Topology: core.TopoHier, HardwareSE: true,
-		SEServiceCycles: cycles})
-	series := tseries.Load(input, scale)
-	w := tseries.New(m, series)
-	r := program.NewRunner(m)
-	w.Build(m, r)
-	t := r.Run()
-	if err := w.Check(); err != nil {
-		panic(fmt.Sprintf("exp: ts.%s failed functional check: %v", input, err))
-	}
-	return collect(m, t, uint64(series.Profiles()))
+	return execute(syncron.RunSpec{Workload: run.App + "." + run.Input, Config: s.Config(),
+		Params: syncron.WorkloadParams{Scale: scale, Metis: metis}})
 }
 
 // RunTS runs the time-series analysis workload.
 func RunTS(s Spec, input string, scale float64) Result {
-	m := s.machine()
-	series := tseries.Load(input, scale)
-	w := tseries.New(m, series)
-	r := program.NewRunner(m)
-	w.Build(m, r)
-	t := r.Run()
-	if err := w.Check(); err != nil {
-		panic(fmt.Sprintf("exp: ts.%s failed functional check under %s: %v", input, s.Backend, err))
+	return execute(syncron.RunSpec{Workload: "ts." + input, Config: s.Config(),
+		Params: syncron.WorkloadParams{Scale: scale}})
+}
+
+// RunLockPinned runs an empty-critical-section lock microbenchmark with the
+// given threads pinned to specific cores (Table 1 and the fairness ablation);
+// pinning is not expressible as a registered workload, so it drives a public
+// System directly.
+func RunLockPinned(s Spec, pinned []int, rounds int, interval int64) Result {
+	sys := syncron.New(s.Config())
+	lock := sys.AllocLocal(0, 64)
+	for _, c := range pinned {
+		sys.SpawnAt(c, func(ctx *syncron.Context) {
+			for k := 0; k < rounds; k++ {
+				ctx.Lock(lock)
+				ctx.Unlock(lock)
+				ctx.Compute(interval)
+			}
+		})
 	}
-	return collect(m, t, uint64(series.Profiles()))
+	return fromReport(sys.Run(), uint64(rounds*len(pinned)))
 }

@@ -12,6 +12,7 @@ package program
 
 import (
 	"fmt"
+	"sync"
 
 	"syncron/internal/arch"
 	"syncron/internal/sim"
@@ -52,6 +53,8 @@ type proc struct {
 	id       int
 	opCh     chan op
 	resCh    chan sim.Time
+	startCh  chan struct{} // closed by the engine's first step for this core
+	started  bool
 	done     bool
 	finishAt sim.Time
 
@@ -81,6 +84,11 @@ type Runner struct {
 	Violations int
 	// PanicOnViolation makes checker failures fatal (default true).
 	PanicOnViolation bool
+
+	// progPanic records the first panic raised by a program goroutine so Run
+	// can re-raise it on its caller's goroutine, where it is recoverable.
+	panicMu   sync.Mutex
+	progPanic any
 }
 
 // NewRunner builds a runner for machine m.
@@ -130,11 +138,28 @@ func (r *Runner) Run() sim.Time {
 		if pg == nil {
 			continue
 		}
-		p := &proc{id: i, opCh: make(chan op), resCh: make(chan sim.Time)}
+		p := &proc{id: i, opCh: make(chan op), resCh: make(chan sim.Time),
+			startCh: make(chan struct{})}
 		r.procs = append(r.procs, p)
 		ctx := &Ctx{ID: i, Unit: r.M.UnitOf(i), RNG: r.M.RNG.Fork(), r: r, p: p}
 		go func(pg Program, ctx *Ctx) {
 			defer close(ctx.p.opCh)
+			// Program code (including the checkers in Ctx) runs on this
+			// goroutine; re-raise its panics on the Run caller's goroutine so
+			// callers can recover them instead of crashing the process.
+			defer func() {
+				if v := recover(); v != nil {
+					r.panicMu.Lock()
+					if r.progPanic == nil {
+						r.progPanic = v
+					}
+					r.panicMu.Unlock()
+				}
+			}()
+			// Host-side code before the program's first simulated operation
+			// must not run until the engine hands this core the turn;
+			// otherwise all cores race on shared host state at launch.
+			<-ctx.p.startCh
 			pg(ctx)
 		}(pg, ctx)
 	}
@@ -143,6 +168,12 @@ func (r *Runner) Run() sim.Time {
 		eng.Schedule(0, func() { r.step(p) })
 	}
 	eng.Run()
+	r.panicMu.Lock()
+	progPanic := r.progPanic
+	r.panicMu.Unlock()
+	if progPanic != nil {
+		panic(progPanic)
+	}
 	var makespan sim.Time
 	for _, p := range r.procs {
 		if !p.done {
@@ -158,6 +189,10 @@ func (r *Runner) Run() sim.Time {
 // step fetches the next operation from core p's program and models it. It is
 // called from engine event context.
 func (r *Runner) step(p *proc) {
+	if !p.started {
+		p.started = true
+		close(p.startCh)
+	}
 	o, ok := <-p.opCh
 	if !ok {
 		p.done = true

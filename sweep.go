@@ -1,0 +1,281 @@
+package syncron
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// RunSpec names one simulation: a registered workload on one configuration.
+type RunSpec struct {
+	// Workload is a name registered with RegisterWorkload (see WorkloadNames).
+	Workload string `json:"workload"`
+	// Config is the system configuration; a zero Scheme means SchemeSynCron
+	// and a zero Seed lets the executor assign a deterministic per-run seed.
+	Config Config `json:"config"`
+	// Params tunes the workload.
+	Params WorkloadParams `json:"params"`
+}
+
+// RunResult is the structured outcome of executing one RunSpec.
+type RunResult struct {
+	Spec RunSpec      `json:"spec"`
+	Kind WorkloadKind `json:"kind,omitempty"`
+	// Seed is the seed the run actually used.
+	Seed uint64 `json:"seed"`
+
+	// Makespan is when the last core finished, in picoseconds.
+	Makespan Time `json:"makespan_ps"`
+	// Ops is the number of logical operations performed.
+	Ops uint64 `json:"ops"`
+	// OpsPerMs is throughput in operations per millisecond (Figure 11's unit).
+	OpsPerMs float64 `json:"ops_per_ms"`
+	// MopsPerSec is throughput in million operations per second.
+	MopsPerSec float64 `json:"mops_per_sec"`
+
+	// Energy breakdown in picojoules.
+	CacheEnergyPJ   float64 `json:"cache_energy_pj"`
+	NetworkEnergyPJ float64 `json:"network_energy_pj"`
+	MemoryEnergyPJ  float64 `json:"memory_energy_pj"`
+
+	// Data movement in bytes.
+	BytesInsideUnits uint64 `json:"bytes_inside_units"`
+	BytesAcrossUnits uint64 `json:"bytes_across_units"`
+
+	// SynCron-specific statistics (zero for other schemes).
+	STOccupancyMax     float64 `json:"st_occupancy_max"`
+	STOccupancyMean    float64 `json:"st_occupancy_mean"`
+	OverflowedFraction float64 `json:"overflowed_fraction"`
+
+	// Err is non-empty when the run failed (unknown workload, failed
+	// functional check, or a simulator panic).
+	Err string `json:"error,omitempty"`
+}
+
+// TotalEnergyPJ returns the summed energy.
+func (r RunResult) TotalEnergyPJ() float64 {
+	return r.CacheEnergyPJ + r.NetworkEnergyPJ + r.MemoryEnergyPJ
+}
+
+// Execute runs one spec to completion and captures the structured result.
+// Failures (including simulator panics) are reported in RunResult.Err rather
+// than propagated, so sweeps survive individual bad runs. A failed run's
+// simulated machine cannot be torn down mid-flight, so its blocked program
+// goroutines are retained until process exit — an acceptable cost for
+// sweep-style batch processes, but callers embedding Execute in a long-lived
+// service should treat a non-empty Err as a signal to recycle the process.
+func Execute(spec RunSpec) (res RunResult) {
+	res = RunResult{Spec: spec, Seed: spec.Config.Seed}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Sprint(p)
+		}
+	}()
+	w, ok := LookupWorkload(spec.Workload)
+	if !ok {
+		res.Err = fmt.Sprintf("unknown workload %q (see WorkloadNames)", spec.Workload)
+		return res
+	}
+	res.Kind = w.Kind()
+	sys := New(spec.Config)
+	res.Spec.Config = sys.Config()
+	res.Seed = sys.Machine().Cfg.Seed
+	prep, err := w.Prepare(sys, spec.Params)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rep := sys.Run()
+	res.Makespan = rep.Makespan
+	res.Ops = prep.Ops
+	if rep.Makespan > 0 {
+		res.OpsPerMs = float64(prep.Ops) / (rep.Makespan.Seconds() * 1e3)
+		res.MopsPerSec = float64(prep.Ops) / rep.Makespan.Seconds() / 1e6
+	}
+	res.CacheEnergyPJ = rep.CacheEnergyPJ
+	res.NetworkEnergyPJ = rep.NetworkEnergyPJ
+	res.MemoryEnergyPJ = rep.MemoryEnergyPJ
+	res.BytesInsideUnits = rep.BytesInsideUnits
+	res.BytesAcrossUnits = rep.BytesAcrossUnits
+	res.STOccupancyMax = rep.STOccupancyMax
+	res.STOccupancyMean = rep.STOccupancyMean
+	res.OverflowedFraction = rep.OverflowedFraction
+	if prep.Check != nil {
+		if err := prep.Check(); err != nil {
+			res.Err = fmt.Sprintf("functional check failed: %v", err)
+		}
+	}
+	return res
+}
+
+// Sweep enumerates a (workload x scheme x config) grid and runs it on a
+// bounded worker pool. Every axis left empty falls back to the corresponding
+// Base value, so the zero-extra-axes sweep is just Workloads x Schemes.
+type Sweep struct {
+	// Workloads are registry names (required).
+	Workloads []string
+	// Schemes to compare (default: SchemeSynCron only).
+	Schemes []Scheme
+	// Units, Memories, LinkLatencies, and STEntries are optional grid axes;
+	// an empty axis uses the Base value.
+	Units         []int
+	Memories      []MemoryTech
+	LinkLatencies []Time
+	STEntries     []int
+	// Base is the configuration every run starts from; axis values and the
+	// per-run seed are overlaid on it.
+	Base Config
+	// Params applies to every run.
+	Params WorkloadParams
+	// Workers bounds simultaneous runs (default GOMAXPROCS).
+	Workers int
+	// BaseSeed anchors the deterministic per-run seeds (see RunSpecs).
+	BaseSeed uint64
+}
+
+// Expand enumerates the grid in a fixed order: workload outermost, then
+// scheme, units, memory, link latency, ST entries.
+func (s Sweep) Expand() []RunSpec {
+	schemes := s.Schemes
+	if len(schemes) == 0 {
+		schemes = []Scheme{SchemeSynCron}
+	}
+	units := s.Units
+	if len(units) == 0 {
+		units = []int{s.Base.Units}
+	}
+	mems := s.Memories
+	if len(mems) == 0 {
+		mems = []MemoryTech{s.Base.Memory}
+	}
+	links := s.LinkLatencies
+	if len(links) == 0 {
+		links = []Time{s.Base.LinkLatency}
+	}
+	sts := s.STEntries
+	if len(sts) == 0 {
+		sts = []int{s.Base.STEntries}
+	}
+	var specs []RunSpec
+	for _, w := range s.Workloads {
+		for _, scheme := range schemes {
+			for _, u := range units {
+				for _, m := range mems {
+					for _, l := range links {
+						for _, st := range sts {
+							cfg := s.Base
+							cfg.Scheme = scheme
+							cfg.Units = u
+							cfg.Memory = m
+							cfg.LinkLatency = l
+							cfg.STEntries = st
+							specs = append(specs, RunSpec{Workload: w, Config: cfg, Params: s.Params})
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Run expands the grid and executes it; see RunSpecs.
+func (s Sweep) Run() []RunResult {
+	return RunSpecs(s.Expand(), s.Workers, s.BaseSeed)
+}
+
+// RunSpecs executes specs on a pool of workers goroutines (default
+// GOMAXPROCS) and returns one result per spec, in spec order. Each run whose
+// Config.Seed is zero gets a seed derived only from baseSeed and its index,
+// so results are byte-identical regardless of the worker count.
+func RunSpecs(specs []RunSpec, workers int, baseSeed uint64) []RunResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]RunResult, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				spec := specs[i]
+				if spec.Config.Seed == 0 {
+					spec.Config.Seed = deriveSeed(baseSeed, i)
+				}
+				results[i] = Execute(spec)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// deriveSeed mixes baseSeed and the run index (splitmix64 finalizer) into a
+// non-zero per-run seed.
+func deriveSeed(baseSeed uint64, i int) uint64 {
+	z := baseSeed + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// WriteJSON emits results as indented JSON.
+func WriteJSON(w io.Writer, results []RunResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{"workload", "kind", "scheme", "units", "cores_per_unit",
+	"memory", "link_latency_ps", "st_entries", "seed", "makespan_ps", "ops",
+	"ops_per_ms", "mops_per_sec", "cache_energy_pj", "network_energy_pj",
+	"memory_energy_pj", "bytes_inside_units", "bytes_across_units",
+	"st_occupancy_max", "st_occupancy_mean", "overflowed_fraction", "error"}
+
+// WriteCSV emits results as one flat CSV row per run.
+func WriteCSV(w io.Writer, results []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range results {
+		cfg := r.Spec.Config
+		row := []string{
+			r.Spec.Workload, string(r.Kind), string(cfg.Scheme),
+			strconv.Itoa(cfg.Units), strconv.Itoa(cfg.CoresPerUnit),
+			cfg.Memory.String(), strconv.FormatInt(int64(cfg.LinkLatency), 10),
+			strconv.Itoa(cfg.STEntries), strconv.FormatUint(r.Seed, 10),
+			strconv.FormatInt(int64(r.Makespan), 10), strconv.FormatUint(r.Ops, 10),
+			f(r.OpsPerMs), f(r.MopsPerSec), f(r.CacheEnergyPJ), f(r.NetworkEnergyPJ),
+			f(r.MemoryEnergyPJ), strconv.FormatUint(r.BytesInsideUnits, 10),
+			strconv.FormatUint(r.BytesAcrossUnits, 10), f(r.STOccupancyMax),
+			f(r.STOccupancyMean), f(r.OverflowedFraction), r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

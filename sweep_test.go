@@ -1,0 +1,243 @@
+package syncron_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"syncron"
+)
+
+// tinySweep is a 2-scheme x 2-workload grid small enough for unit tests.
+func tinySweep(workers int) syncron.Sweep {
+	return syncron.Sweep{
+		Workloads: []string{"stack", "lock"},
+		Schemes:   []syncron.Scheme{syncron.SchemeSynCron, syncron.SchemeCentral},
+		Base:      syncron.Config{Units: 2, CoresPerUnit: 2},
+		Params:    syncron.WorkloadParams{Scale: 0.05, OpsPerCore: 6, Rounds: 8},
+		Workers:   workers,
+		BaseSeed:  7,
+	}
+}
+
+func TestSweepExpandGrid(t *testing.T) {
+	sw := tinySweep(1)
+	sw.Units = []int{1, 2}
+	sw.STEntries = []int{16, 64}
+	specs := sw.Expand()
+	if want := 2 * 2 * 2 * 2; len(specs) != want {
+		t.Fatalf("expanded %d specs, want %d", len(specs), want)
+	}
+	// Fixed order: workload outermost, then scheme, units, ST entries.
+	first := specs[0]
+	if first.Workload != "stack" || first.Config.Scheme != syncron.SchemeSynCron ||
+		first.Config.Units != 1 || first.Config.STEntries != 16 {
+		t.Fatalf("unexpected first spec: %+v", first)
+	}
+	last := specs[len(specs)-1]
+	if last.Workload != "lock" || last.Config.Scheme != syncron.SchemeCentral ||
+		last.Config.Units != 2 || last.Config.STEntries != 64 {
+		t.Fatalf("unexpected last spec: %+v", last)
+	}
+	// Base values survive on every spec.
+	for _, spec := range specs {
+		if spec.Config.CoresPerUnit != 2 {
+			t.Fatalf("base CoresPerUnit lost: %+v", spec.Config)
+		}
+	}
+}
+
+func TestSweepEmptyAxesFallBackToBase(t *testing.T) {
+	sw := syncron.Sweep{Workloads: []string{"stack"}, Base: syncron.Config{Units: 3}}
+	specs := sw.Expand()
+	if len(specs) != 1 {
+		t.Fatalf("expanded %d specs, want 1", len(specs))
+	}
+	if specs[0].Config.Scheme != syncron.SchemeSynCron || specs[0].Config.Units != 3 {
+		t.Fatalf("default axes wrong: %+v", specs[0].Config)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the core parallel-safety guarantee:
+// the same sweep must produce byte-identical results at any worker count.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial := tinySweep(1).Run()
+	parallel := tinySweep(8).Run()
+	for _, rs := range [][]syncron.RunResult{serial, parallel} {
+		for _, r := range rs {
+			if r.Err != "" {
+				t.Fatalf("%s under %s failed: %s", r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+			}
+			if r.Makespan <= 0 || r.Ops == 0 {
+				t.Fatalf("empty result: %+v", r)
+			}
+		}
+	}
+	var a, b bytes.Buffer
+	if err := syncron.WriteJSON(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := syncron.WriteJSON(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("serial and parallel sweeps diverged:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			a.String(), b.String())
+	}
+}
+
+func TestSweepSeedsDifferPerRun(t *testing.T) {
+	results := tinySweep(1).Run()
+	seen := map[uint64]bool{}
+	for _, r := range results {
+		if r.Seed == 0 {
+			t.Fatalf("run %s/%s got zero seed", r.Spec.Workload, r.Spec.Config.Scheme)
+		}
+		if seen[r.Seed] {
+			t.Fatalf("duplicate per-run seed %d", r.Seed)
+		}
+		seen[r.Seed] = true
+	}
+}
+
+func TestExecuteUnknownWorkloadReportsError(t *testing.T) {
+	res := syncron.Execute(syncron.RunSpec{Workload: "no-such-workload"})
+	if res.Err == "" || !strings.Contains(res.Err, "no-such-workload") {
+		t.Fatalf("want unknown-workload error, got %+v", res)
+	}
+}
+
+// buggyWorkload releases a lock it never acquired, tripping the runner's
+// mutual-exclusion checker from a simulated core's program.
+type buggyWorkload struct{}
+
+func (buggyWorkload) Name() string               { return "test.buggy" }
+func (buggyWorkload) Kind() syncron.WorkloadKind { return "test" }
+func (w buggyWorkload) Prepare(sys *syncron.System, _ syncron.WorkloadParams) (*syncron.PreparedRun, error) {
+	lock := sys.AllocLocal(0, 64)
+	sys.Spawn(sys.NumCores(), func(ctx *syncron.Context) {
+		ctx.Unlock(lock)
+	})
+	return &syncron.PreparedRun{Ops: 1}, nil
+}
+
+// TestExecuteSurvivesProgramPanic checks that a panic raised on a simulated
+// core's goroutine (checker violations, workload bugs) is captured into
+// RunResult.Err instead of crashing the process, so sweeps survive bad runs.
+func TestExecuteSurvivesProgramPanic(t *testing.T) {
+	syncron.RegisterWorkload(buggyWorkload{})
+	res := syncron.Execute(syncron.RunSpec{
+		Workload: "test.buggy",
+		Config:   syncron.Config{Units: 1, CoresPerUnit: 2},
+	})
+	if res.Err == "" || !strings.Contains(res.Err, "lock") {
+		t.Fatalf("want checker-violation error in RunResult.Err, got %+v", res)
+	}
+}
+
+func TestExecuteReportsResolvedConfig(t *testing.T) {
+	res := syncron.Execute(syncron.RunSpec{Workload: "lock",
+		Params: syncron.WorkloadParams{Rounds: 3}})
+	cfg := res.Spec.Config
+	if cfg.Scheme != syncron.SchemeSynCron || cfg.Units != 4 ||
+		cfg.CoresPerUnit != 15 || cfg.Seed != 1 {
+		t.Fatalf("defaults not resolved into result config: %+v", cfg)
+	}
+}
+
+func TestWorkloadRegistryCoverage(t *testing.T) {
+	var names []string
+	have := map[string]bool{}
+	for _, n := range syncron.WorkloadNames() {
+		if strings.HasPrefix(n, "test.") { // registered by other tests
+			continue
+		}
+		names = append(names, n)
+		have[n] = true
+	}
+	// 4 primitives + 9 data structures + 6 apps x 4 inputs + 2 time series.
+	if want := 4 + 9 + 24 + 2; len(names) != want {
+		t.Fatalf("registry has %d workloads, want %d: %v", len(names), want, names)
+	}
+	for _, n := range []string{"lock", "barrier", "stack", "bst_fg", "pr.wk", "tc.sx", "ts.air"} {
+		if !have[n] {
+			t.Fatalf("workload %q not registered (have %v)", n, names)
+		}
+	}
+	w, ok := syncron.LookupWorkload("pr.wk")
+	if !ok || w.Kind() != syncron.KindGraph {
+		t.Fatalf("pr.wk lookup: ok=%v kind=%v", ok, w.Kind())
+	}
+	if _, ok := syncron.LookupWorkload("bogus"); ok {
+		t.Fatal("bogus workload resolved")
+	}
+}
+
+func TestParseSchemeAliases(t *testing.T) {
+	for name, want := range map[string]syncron.Scheme{
+		"syncron": syncron.SchemeSynCron,
+		"flat":    syncron.SchemeSynCronFlat,
+		"  Hier ": syncron.SchemeHier,
+		"ttas":    syncron.SchemeTTAS,
+	} {
+		got, err := syncron.ParseScheme(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := syncron.ParseScheme("nope"); err == nil {
+		t.Error("ParseScheme accepted an unknown scheme")
+	}
+}
+
+func TestFunctionalOptionsConstruct(t *testing.T) {
+	sys := syncron.New(
+		syncron.WithScheme(syncron.SchemeCentral),
+		syncron.WithUnits(2),
+		syncron.WithCoresPerUnit(3),
+		syncron.WithSeed(11),
+	)
+	if got := sys.Config(); got.Scheme != syncron.SchemeCentral || got.Units != 2 ||
+		got.CoresPerUnit != 3 || got.Seed != 11 {
+		t.Fatalf("options not applied: %+v", got)
+	}
+	if sys.NumCores() != 6 {
+		t.Fatalf("NumCores = %d, want 6", sys.NumCores())
+	}
+}
+
+func TestConfigMixesWithOptions(t *testing.T) {
+	// A Config value is an Option; later options override it.
+	sys := syncron.New(
+		syncron.Config{Scheme: syncron.SchemeHier, Units: 2, CoresPerUnit: 2},
+		syncron.WithScheme(syncron.SchemeIdeal),
+	)
+	cfg := sys.Config()
+	if cfg.Scheme != syncron.SchemeIdeal || cfg.Units != 2 || cfg.CoresPerUnit != 2 {
+		t.Fatalf("mixed construction wrong: %+v", cfg)
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	results := syncron.RunSpecs([]syncron.RunSpec{{
+		Workload: "lock",
+		Config:   syncron.Config{Scheme: syncron.SchemeSynCron, Units: 2, CoresPerUnit: 2},
+		Params:   syncron.WorkloadParams{Rounds: 5},
+	}}, 1, 3)
+	var buf bytes.Buffer
+	if err := syncron.WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	if row[0] != "lock" || row[2] != "syncron" {
+		t.Fatalf("unexpected CSV row: %v", row)
+	}
+}

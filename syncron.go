@@ -15,7 +15,7 @@
 //
 // Quickstart:
 //
-//	sys := syncron.New(syncron.Config{Scheme: syncron.SchemeSynCron})
+//	sys := syncron.New(syncron.WithScheme(syncron.SchemeSynCron))
 //	lock := sys.AllocLocal(0, 64)
 //	counter := 0
 //	sys.Spawn(sys.NumCores(), func(ctx *syncron.Context) {
@@ -32,6 +32,7 @@ package syncron
 
 import (
 	"fmt"
+	"strings"
 
 	"syncron/internal/arch"
 	"syncron/internal/baselines"
@@ -67,6 +68,27 @@ const (
 	SchemeHTL Scheme = "htl"
 )
 
+// Schemes returns every available scheme in a stable, documentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeSynCron, SchemeSynCronFlat, SchemeCentral, SchemeHier,
+		SchemeIdeal, SchemeMESILock, SchemeTTAS, SchemeHTL}
+}
+
+// ParseScheme resolves a scheme name, accepting the short alias "flat" for
+// SchemeSynCronFlat.
+func ParseScheme(name string) (Scheme, error) {
+	s := Scheme(strings.ToLower(strings.TrimSpace(name)))
+	if s == "flat" {
+		return SchemeSynCronFlat, nil
+	}
+	for _, known := range Schemes() {
+		if s == known {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("syncron: unknown scheme %q", name)
+}
+
 // MemoryTech selects the NDP memory technology (Table 5).
 type MemoryTech = mem.Tech
 
@@ -75,6 +97,33 @@ const (
 	HBM  = mem.HBM  // 2.5D NDP (default)
 	HMC  = mem.HMC  // 3D NDP
 	DDR4 = mem.DDR4 // 2D NDP
+)
+
+// ParseMemory resolves a memory technology name (hbm, hmc, ddr4).
+func ParseMemory(name string) (MemoryTech, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "hbm", "":
+		return HBM, nil
+	case "hmc":
+		return HMC, nil
+	case "ddr4":
+		return DDR4, nil
+	}
+	return HBM, fmt.Errorf("syncron: unknown memory technology %q", name)
+}
+
+// OverflowPolicy selects what happens when a Synchronization Table fills up
+// (§6.7.3).
+type OverflowPolicy = core.OverflowPolicy
+
+// Overflow policies.
+const (
+	// OverflowIntegrated is SynCron's hardware-only scheme (default).
+	OverflowIntegrated = core.OverflowIntegrated
+	// OverflowCentral aborts to one central software handler.
+	OverflowCentral = core.OverflowCentral
+	// OverflowDistrib aborts to one software handler per NDP unit.
+	OverflowDistrib = core.OverflowDistrib
 )
 
 // Time is a simulated duration/timestamp in picoseconds.
@@ -90,22 +139,27 @@ const (
 // Config describes the simulated NDP system.
 type Config struct {
 	// Scheme selects the synchronization mechanism (default SchemeSynCron).
-	Scheme Scheme
+	Scheme Scheme `json:"scheme"`
 	// Units is the number of NDP units (default 4).
-	Units int
+	Units int `json:"units,omitempty"`
 	// CoresPerUnit is the number of client NDP cores per unit (default 15).
-	CoresPerUnit int
+	CoresPerUnit int `json:"cores_per_unit,omitempty"`
 	// Memory selects the memory technology (default HBM).
-	Memory MemoryTech
+	Memory MemoryTech `json:"memory,omitempty"`
 	// LinkLatency overrides the inter-unit transfer latency per cache line
 	// (default 40ns).
-	LinkLatency Time
+	LinkLatency Time `json:"link_latency_ps,omitempty"`
 	// STEntries overrides SynCron's Synchronization Table size (default 64).
-	STEntries int
+	STEntries int `json:"st_entries,omitempty"`
+	// Overflow selects the ST-overflow handling policy (SynCron schemes only).
+	Overflow OverflowPolicy `json:"overflow,omitempty"`
 	// FairnessThreshold enables the §4.4.2 lock-fairness extension.
-	FairnessThreshold int
+	FairnessThreshold int `json:"fairness_threshold,omitempty"`
+	// SEServiceCycles overrides the SE occupancy per message in SE cycles
+	// (default 12, the paper's §5 assumption; SynCron schemes only).
+	SEServiceCycles int64 `json:"se_service_cycles,omitempty"`
 	// Seed makes all simulated randomness reproducible (default 1).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Context is the interface a simulated core's program uses; see
@@ -124,8 +178,13 @@ type System struct {
 	r   *program.Runner
 }
 
-// New builds a system from cfg.
-func New(cfg Config) *System {
+// New builds a system from the given options. Both functional options and
+// plain Config values are accepted (and may be mixed); see Option.
+func New(opts ...Option) *System {
+	var cfg Config
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
 	if cfg.Scheme == "" {
 		cfg.Scheme = SchemeSynCron
 	}
@@ -143,6 +202,11 @@ func New(cfg Config) *System {
 	}
 	m := arch.NewMachine(acfg)
 	m.Backend = newBackend(cfg)
+	// Record the machine-level defaults the run will actually use, so
+	// Config() (and sweep results built from it) report resolved values.
+	cfg.Units = m.Cfg.Units
+	cfg.CoresPerUnit = m.Cfg.CoresPerUnit
+	cfg.Seed = m.Cfg.Seed
 	return &System{cfg: cfg, m: m, r: program.NewRunner(m)}
 }
 
@@ -150,10 +214,12 @@ func newBackend(cfg Config) arch.Backend {
 	switch cfg.Scheme {
 	case SchemeSynCron:
 		return core.NewCoordinator(core.Options{Topology: core.TopoHier, HardwareSE: true,
-			STEntries: cfg.STEntries, FairnessThreshold: cfg.FairnessThreshold})
+			STEntries: cfg.STEntries, Overflow: cfg.Overflow,
+			FairnessThreshold: cfg.FairnessThreshold, SEServiceCycles: cfg.SEServiceCycles})
 	case SchemeSynCronFlat:
 		return core.NewCoordinator(core.Options{Topology: core.TopoFlat, HardwareSE: true,
-			STEntries: cfg.STEntries, Name: "syncron-flat"})
+			STEntries: cfg.STEntries, Overflow: cfg.Overflow,
+			SEServiceCycles: cfg.SEServiceCycles, Name: "syncron-flat"})
 	case SchemeCentral:
 		return baselines.NewCentral()
 	case SchemeHier:
@@ -170,6 +236,12 @@ func newBackend(cfg Config) arch.Backend {
 		panic(fmt.Sprintf("syncron: unknown scheme %q", cfg.Scheme))
 	}
 }
+
+// Config returns the configuration the system was built from, with Scheme,
+// Units, CoresPerUnit, and Seed resolved to the values the run actually
+// uses. Fields whose zero value means "scheme/component default" (STEntries,
+// LinkLatency, SEServiceCycles) are reported as given.
+func (s *System) Config() Config { return s.cfg }
 
 // NumCores returns the number of client NDP cores.
 func (s *System) NumCores() int { return s.m.NumCores() }

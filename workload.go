@@ -1,0 +1,118 @@
+package syncron
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// WorkloadKind classifies a registered workload.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	KindPrimitive     WorkloadKind = "primitive"
+	KindDataStructure WorkloadKind = "data structure"
+	KindGraph         WorkloadKind = "graph application"
+	KindTimeSeries    WorkloadKind = "time series"
+)
+
+// WorkloadParams tunes a workload run. The zero value means "use the
+// workload's defaults"; fields irrelevant to a workload kind are ignored.
+type WorkloadParams struct {
+	// Scale shrinks or grows the workload proportionally (default 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// OpsPerCore is the operation count per core (data structures; default 40).
+	OpsPerCore int `json:"ops_per_core,omitempty"`
+	// Size overrides the initial element count (data structures).
+	Size int `json:"size,omitempty"`
+	// Interval is the instruction count between synchronization points
+	// (primitives; default 200).
+	Interval int64 `json:"interval,omitempty"`
+	// Rounds is the number of synchronization points per core (primitives;
+	// default derived from Scale).
+	Rounds int `json:"rounds,omitempty"`
+	// Metis selects the METIS-like greedy graph partitioner instead of the
+	// default hash partitioner (graph applications).
+	Metis bool `json:"metis,omitempty"`
+}
+
+// scale returns the effective scale factor.
+func (p WorkloadParams) scale() float64 {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+// PreparedRun is a workload instantiated on a System, ready for System.Run.
+type PreparedRun struct {
+	// Ops is the number of logical operations the run will perform, used for
+	// throughput reporting.
+	Ops uint64
+	// Check validates functional invariants after the run; nil means the
+	// workload has no post-run check.
+	Check func() error
+}
+
+// Workload is a benchmark that can be instantiated on any System. Register
+// implementations with RegisterWorkload to make them reachable by name from
+// the Sweep API and the syncron-sim command.
+type Workload interface {
+	// Name is the unique registry key (e.g. "stack", "lock", "pr.wk").
+	Name() string
+	// Kind classifies the workload for display.
+	Kind() WorkloadKind
+	// Prepare registers the workload's programs on sys.
+	Prepare(sys *System, p WorkloadParams) (*PreparedRun, error)
+}
+
+var (
+	workloadMu  sync.RWMutex
+	workloadReg = map[string]Workload{}
+)
+
+// RegisterWorkload adds w to the public workload registry. It panics if a
+// workload with the same name is already registered.
+func RegisterWorkload(w Workload) {
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if _, dup := workloadReg[w.Name()]; dup {
+		panic(fmt.Sprintf("syncron: duplicate workload %q", w.Name()))
+	}
+	workloadReg[w.Name()] = w
+}
+
+// LookupWorkload returns the registered workload with the given name.
+func LookupWorkload(name string) (Workload, bool) {
+	workloadMu.RLock()
+	defer workloadMu.RUnlock()
+	w, ok := workloadReg[name]
+	return w, ok
+}
+
+// WorkloadNames returns every registered workload name in sorted order.
+func WorkloadNames() []string {
+	workloadMu.RLock()
+	defer workloadMu.RUnlock()
+	names := make([]string, 0, len(workloadReg))
+	for name := range workloadReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkloadNamesOfKind returns the registered names of one kind, sorted.
+func WorkloadNamesOfKind(kind WorkloadKind) []string {
+	var names []string
+	workloadMu.RLock()
+	for name, w := range workloadReg {
+		if w.Kind() == kind {
+			names = append(names, name)
+		}
+	}
+	workloadMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
