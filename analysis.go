@@ -1,0 +1,448 @@
+package syncron
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the analysis layer: it ingests []RunResult (usually straight
+// from Sweep.Run) and computes the paper's evaluation views — speedup
+// normalized to a baseline scheme with geomean aggregation per workload
+// family (Figures 10-12), scalability over system size (Figure 13), energy
+// and data-movement breakdowns (Figures 14-15), and the Synchronization
+// Table occupancy/overflow ablations (Figure 22, Table 7). figures.go
+// renders these views as Markdown/CSV artifacts; cmd/syncron-sim exposes
+// them as the `figures` subcommand.
+
+// Geomean returns the geometric mean of the positive values in xs; zero,
+// negative, and non-finite values are ignored. It returns 0 when no value
+// qualifies.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 1) && !math.IsNaN(x) {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// SpeedupRow is one grid point of a SpeedupTable: a workload (at one
+// configuration) with per-scheme speedup and throughput.
+type SpeedupRow struct {
+	// Workload is the registry name.
+	Workload string
+	// Kind is the workload's family (geomeans aggregate over it).
+	Kind WorkloadKind
+	// Label is Workload plus a config suffix (e.g. " u=2") when the result
+	// set holds the same workload at several grid points.
+	Label string
+	// Speedup maps scheme → baseline makespan / scheme makespan (the
+	// baseline scheme itself is exactly 1).
+	Speedup map[Scheme]float64
+	// Throughput maps scheme → operations per millisecond.
+	Throughput map[Scheme]float64
+}
+
+// SpeedupTable is the paper's headline comparison: per-workload speedup over
+// a baseline scheme, with geomean rows per workload family and overall.
+type SpeedupTable struct {
+	// Baseline is the scheme every speedup is normalized to.
+	Baseline Scheme
+	// Schemes are the compared schemes in first-seen result order.
+	Schemes []Scheme
+	// Rows are sorted by kind (Kinds order), then workload name, then label.
+	Rows []SpeedupRow
+	// KindGeomean aggregates Rows per workload family.
+	KindGeomean map[WorkloadKind]map[Scheme]float64
+	// OverallGeomean aggregates all Rows.
+	OverallGeomean map[Scheme]float64
+}
+
+// Kinds returns the families present in the table, in Kinds order.
+func (t *SpeedupTable) Kinds() []WorkloadKind {
+	var kinds []WorkloadKind
+	seen := map[WorkloadKind]bool{}
+	for _, row := range t.Rows {
+		if !seen[row.Kind] {
+			seen[row.Kind] = true
+			kinds = append(kinds, row.Kind)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kindOrder(kinds[i]) < kindOrder(kinds[j]) })
+	return kinds
+}
+
+// SpeedupVsBaseline joins every successful run against the baseline-scheme
+// run of the same grid point and computes per-workload speedups plus geomean
+// aggregates per workload family. Failed runs are ignored; a missing
+// baseline run is an error.
+func SpeedupVsBaseline(results []RunResult, baseline Scheme) (*SpeedupTable, error) {
+	rs := ResultSet(results)
+	pairs, err := rs.JoinBaseline(baseline)
+	if err != nil {
+		return nil, err
+	}
+	label := gridLabeler(rs.Ok())
+	t := &SpeedupTable{
+		Baseline:       baseline,
+		Schemes:        rs.Ok().Schemes(),
+		KindGeomean:    map[WorkloadKind]map[Scheme]float64{},
+		OverallGeomean: map[Scheme]float64{},
+	}
+	rows := map[string]*SpeedupRow{}
+	var order []string
+	for _, p := range pairs {
+		key := comparisonKey(p.Run)
+		row, ok := rows[key]
+		if !ok {
+			row = &SpeedupRow{
+				Workload:   p.Run.Spec.Workload,
+				Kind:       p.Run.Kind,
+				Label:      label(p.Run),
+				Speedup:    map[Scheme]float64{},
+				Throughput: map[Scheme]float64{},
+			}
+			rows[key] = row
+			order = append(order, key)
+		}
+		scheme := p.Run.Spec.Config.Scheme
+		if p.Run.Makespan > 0 {
+			row.Speedup[scheme] = float64(p.Baseline.Makespan) / float64(p.Run.Makespan)
+		}
+		row.Throughput[scheme] = p.Run.OpsPerMs
+	}
+	for _, key := range order {
+		t.Rows = append(t.Rows, *rows[key])
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i], t.Rows[j]
+		if a.Kind != b.Kind {
+			return kindOrder(a.Kind) < kindOrder(b.Kind)
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Label < b.Label
+	})
+	for _, scheme := range t.Schemes {
+		byKind := map[WorkloadKind][]float64{}
+		var all []float64
+		for _, row := range t.Rows {
+			if sp, ok := row.Speedup[scheme]; ok {
+				byKind[row.Kind] = append(byKind[row.Kind], sp)
+				all = append(all, sp)
+			}
+		}
+		for kind, sps := range byKind {
+			if t.KindGeomean[kind] == nil {
+				t.KindGeomean[kind] = map[Scheme]float64{}
+			}
+			t.KindGeomean[kind][scheme] = Geomean(sps)
+		}
+		t.OverallGeomean[scheme] = Geomean(all)
+	}
+	return t, nil
+}
+
+// gridLabeler returns a labeling function that appends the values of every
+// config axis that varies across rs (units, cores per unit, memory, link
+// latency, ST entries) to the workload name, so a workload swept at several
+// grid points yields distinguishable rows.
+func gridLabeler(rs ResultSet) func(RunResult) string {
+	var units, cores, sts = map[int]bool{}, map[int]bool{}, map[int]bool{}
+	var mems = map[MemoryTech]bool{}
+	var links = map[Time]bool{}
+	for _, r := range rs {
+		cfg := r.Spec.Config
+		units[cfg.Units] = true
+		cores[cfg.CoresPerUnit] = true
+		mems[cfg.Memory] = true
+		links[cfg.LinkLatency] = true
+		sts[cfg.STEntries] = true
+	}
+	return func(r RunResult) string {
+		cfg := r.Spec.Config
+		label := r.Spec.Workload
+		if len(units) > 1 {
+			label += fmt.Sprintf(" u=%d", cfg.Units)
+		}
+		if len(cores) > 1 {
+			label += fmt.Sprintf(" c=%d", cfg.CoresPerUnit)
+		}
+		if len(mems) > 1 {
+			label += " " + cfg.Memory.String()
+		}
+		if len(links) > 1 {
+			label += fmt.Sprintf(" link=%v", cfg.LinkLatency)
+		}
+		if len(sts) > 1 {
+			label += fmt.Sprintf(" st=%d", cfg.STEntries)
+		}
+		return label
+	}
+}
+
+// ScalabilityPoint is one system size on a scalability curve.
+type ScalabilityPoint struct {
+	// Units and Cores describe the system size (Cores = Units * CoresPerUnit).
+	Units, Cores int
+	// Makespan is the run's simulated duration.
+	Makespan Time
+	// Speedup is normalized to the smallest system size of the same curve.
+	Speedup float64
+}
+
+// ScalabilityCurve is one workload's self-relative scaling under one scheme
+// (Figure 13).
+type ScalabilityCurve struct {
+	Workload string
+	Kind     WorkloadKind
+	Scheme   Scheme
+	// Points are sorted by total core count.
+	Points []ScalabilityPoint
+}
+
+// Scalability builds per-workload scaling curves from the runs of one scheme:
+// each curve normalizes every system size to the smallest one. Curves are
+// sorted by kind, then workload name. Failed runs are ignored; a workload
+// needs at least two sizes to form a curve, and workloads with fewer are
+// dropped.
+func Scalability(results []RunResult, scheme Scheme) ([]ScalabilityCurve, error) {
+	rs := ResultSet(results).Ok().Filter(func(r RunResult) bool {
+		return r.Spec.Config.Scheme == scheme
+	})
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("syncron: no successful %q runs to build scalability curves from", scheme)
+	}
+	var curves []ScalabilityCurve
+	for name, runs := range rs.ByWorkload() {
+		sort.Slice(runs, func(i, j int) bool {
+			a, b := runs[i].Spec.Config, runs[j].Spec.Config
+			return a.Units*a.CoresPerUnit < b.Units*b.CoresPerUnit
+		})
+		if len(runs) < 2 {
+			continue
+		}
+		curve := ScalabilityCurve{Workload: name, Kind: runs[0].Kind, Scheme: scheme}
+		base := runs[0].Makespan
+		for _, r := range runs {
+			cfg := r.Spec.Config
+			pt := ScalabilityPoint{Units: cfg.Units, Cores: cfg.Units * cfg.CoresPerUnit,
+				Makespan: r.Makespan}
+			if r.Makespan > 0 {
+				pt.Speedup = float64(base) / float64(r.Makespan)
+			}
+			curve.Points = append(curve.Points, pt)
+		}
+		curves = append(curves, curve)
+	}
+	sort.Slice(curves, func(i, j int) bool {
+		a, b := curves[i], curves[j]
+		if a.Kind != b.Kind {
+			return kindOrder(a.Kind) < kindOrder(b.Kind)
+		}
+		return a.Workload < b.Workload
+	})
+	return curves, nil
+}
+
+// EnergyRow is one (workload, scheme) cell of the energy view (Figure 14):
+// the scheme's cache/network/memory energy as fractions of the baseline
+// scheme's total energy on the same grid point, so the baseline's Total is
+// exactly 1 and schemes are directly comparable.
+type EnergyRow struct {
+	Workload string
+	Kind     WorkloadKind
+	Label    string
+	Scheme   Scheme
+
+	Cache, Network, Memory, Total float64
+}
+
+// EnergyBreakdown computes the Figure-14 energy view: every run's energy
+// split normalized to the baseline scheme's total on the same grid point.
+// Rows are sorted by kind, workload, label, then scheme in first-seen order.
+func EnergyBreakdown(results []RunResult, baseline Scheme) ([]EnergyRow, error) {
+	pairs, err := ResultSet(results).JoinBaseline(baseline)
+	if err != nil {
+		return nil, err
+	}
+	label := gridLabeler(ResultSet(results).Ok())
+	var rows []EnergyRow
+	for _, p := range pairs {
+		total := p.Baseline.TotalEnergyPJ()
+		if total == 0 {
+			return nil, fmt.Errorf("syncron: baseline %s run of %s reports zero energy",
+				baseline, p.Run.Spec.Workload)
+		}
+		rows = append(rows, EnergyRow{
+			Workload: p.Run.Spec.Workload,
+			Kind:     p.Run.Kind,
+			Label:    label(p.Run),
+			Scheme:   p.Run.Spec.Config.Scheme,
+			Cache:    p.Run.CacheEnergyPJ / total,
+			Network:  p.Run.NetworkEnergyPJ / total,
+			Memory:   p.Run.MemoryEnergyPJ / total,
+			Total:    p.Run.TotalEnergyPJ() / total,
+		})
+	}
+	sortBreakdown(rows, ResultSet(results).Ok().Schemes(),
+		func(r EnergyRow) (WorkloadKind, string, string, Scheme) {
+			return r.Kind, r.Workload, r.Label, r.Scheme
+		})
+	return rows, nil
+}
+
+// TrafficRow is one (workload, scheme) cell of the data-movement view
+// (Figure 15): bytes moved inside and across NDP units as fractions of the
+// baseline scheme's total bytes on the same grid point.
+type TrafficRow struct {
+	Workload string
+	Kind     WorkloadKind
+	Label    string
+	Scheme   Scheme
+
+	Inside, Across, Total float64
+}
+
+// TrafficBreakdown computes the Figure-15 data-movement view: every run's
+// inside/across-unit bytes normalized to the baseline scheme's total on the
+// same grid point. Rows are sorted like EnergyBreakdown's.
+func TrafficBreakdown(results []RunResult, baseline Scheme) ([]TrafficRow, error) {
+	pairs, err := ResultSet(results).JoinBaseline(baseline)
+	if err != nil {
+		return nil, err
+	}
+	label := gridLabeler(ResultSet(results).Ok())
+	var rows []TrafficRow
+	for _, p := range pairs {
+		total := float64(p.Baseline.BytesInsideUnits + p.Baseline.BytesAcrossUnits)
+		if total == 0 {
+			return nil, fmt.Errorf("syncron: baseline %s run of %s reports zero data movement",
+				baseline, p.Run.Spec.Workload)
+		}
+		rows = append(rows, TrafficRow{
+			Workload: p.Run.Spec.Workload,
+			Kind:     p.Run.Kind,
+			Label:    label(p.Run),
+			Scheme:   p.Run.Spec.Config.Scheme,
+			Inside:   float64(p.Run.BytesInsideUnits) / total,
+			Across:   float64(p.Run.BytesAcrossUnits) / total,
+			Total:    float64(p.Run.BytesInsideUnits+p.Run.BytesAcrossUnits) / total,
+		})
+	}
+	sortBreakdown(rows, ResultSet(results).Ok().Schemes(),
+		func(r TrafficRow) (WorkloadKind, string, string, Scheme) {
+			return r.Kind, r.Workload, r.Label, r.Scheme
+		})
+	return rows, nil
+}
+
+// sortBreakdown orders breakdown rows by kind, workload, label, then scheme
+// in the order schemes lists them.
+func sortBreakdown[T any](rows []T, schemes []Scheme, key func(T) (WorkloadKind, string, string, Scheme)) {
+	rank := map[Scheme]int{}
+	for i, s := range schemes {
+		rank[s] = i
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ki, wi, li, si := key(rows[i])
+		kj, wj, lj, sj := key(rows[j])
+		if ki != kj {
+			return kindOrder(ki) < kindOrder(kj)
+		}
+		if wi != wj {
+			return wi < wj
+		}
+		if li != lj {
+			return li < lj
+		}
+		return rank[si] < rank[sj]
+	})
+}
+
+// OccupancyRow summarizes one (workload, scheme, ST size) run of a SynCron
+// scheme for the Synchronization Table ablation (Figure 22, Table 7).
+type OccupancyRow struct {
+	Workload string
+	Kind     WorkloadKind
+	// Scheme is the SynCron variant the run used (hierarchical or flat);
+	// slowdowns are normalized within one (workload, scheme) curve.
+	Scheme Scheme
+	// STEntries is the Synchronization Table size of the run.
+	STEntries int
+	// OpsPerMs is the run's throughput.
+	OpsPerMs float64
+	// SlowdownVsLargest is makespan / the same workload's makespan at the
+	// largest swept ST size (so the largest size is exactly 1).
+	SlowdownVsLargest float64
+	// MaxOccupancy and MeanOccupancy are ST occupancy fractions in [0, 1].
+	MaxOccupancy, MeanOccupancy float64
+	// Overflowed is the fraction of requests that overflowed the ST.
+	Overflowed float64
+}
+
+// STAblation builds the ST-size sensitivity view from runs of the SynCron
+// schemes: per (workload, scheme) curve, every swept ST size with its
+// slowdown relative to the largest size and its occupancy/overflow
+// statistics. Rows are sorted by workload, then scheme, then ST size
+// descending (the paper's presentation order). Runs of non-SynCron schemes
+// and failed runs are ignored.
+func STAblation(results []RunResult) ([]OccupancyRow, error) {
+	rs := ResultSet(results).Ok().Filter(func(r RunResult) bool {
+		s := r.Spec.Config.Scheme
+		return s == SchemeSynCron || s == SchemeSynCronFlat
+	})
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("syncron: no successful SynCron runs to build the ST ablation from")
+	}
+	curves := map[string]ResultSet{}
+	for _, r := range rs {
+		key := r.Spec.Workload + "|" + string(r.Spec.Config.Scheme)
+		curves[key] = append(curves[key], r)
+	}
+	var rows []OccupancyRow
+	for _, runs := range curves {
+		sort.Slice(runs, func(i, j int) bool {
+			return runs[i].Spec.Config.STEntries > runs[j].Spec.Config.STEntries
+		})
+		base := runs[0].Makespan // largest swept ST size of this curve
+		for _, r := range runs {
+			row := OccupancyRow{
+				Workload:      r.Spec.Workload,
+				Kind:          r.Kind,
+				Scheme:        r.Spec.Config.Scheme,
+				STEntries:     r.Spec.Config.STEntries,
+				OpsPerMs:      r.OpsPerMs,
+				MaxOccupancy:  r.STOccupancyMax,
+				MeanOccupancy: r.STOccupancyMean,
+				Overflowed:    r.OverflowedFraction,
+			}
+			if base > 0 {
+				row.SlowdownVsLargest = float64(r.Makespan) / float64(base)
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Kind != b.Kind {
+			return kindOrder(a.Kind) < kindOrder(b.Kind)
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.STEntries > b.STEntries
+	})
+	return rows, nil
+}

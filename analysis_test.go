@@ -1,0 +1,329 @@
+package syncron_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"syncron"
+)
+
+// synth builds a synthetic successful RunResult for analysis-layer tests; no
+// simulation runs.
+func synth(workload string, kind syncron.WorkloadKind, scheme syncron.Scheme,
+	makespan syncron.Time, mutate ...func(*syncron.RunResult)) syncron.RunResult {
+	r := syncron.RunResult{
+		Spec: syncron.RunSpec{
+			Workload: workload,
+			Config:   syncron.Config{Scheme: scheme, Units: 4, CoresPerUnit: 15},
+		},
+		Kind:     kind,
+		Makespan: makespan,
+	}
+	if makespan > 0 {
+		r.Ops = 1000
+		r.OpsPerMs = float64(r.Ops) / (makespan.Seconds() * 1e3)
+	}
+	r.CacheEnergyPJ, r.NetworkEnergyPJ, r.MemoryEnergyPJ = 10, 60, 30
+	r.BytesInsideUnits, r.BytesAcrossUnits = 600, 400
+	for _, m := range mutate {
+		m(&r)
+	}
+	return r
+}
+
+func TestGeomean(t *testing.T) {
+	if g := syncron.Geomean(nil); g != 0 {
+		t.Fatalf("geomean of nothing = %f, want 0", g)
+	}
+	if g := syncron.Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %f, want 4", g)
+	}
+	// Non-positive and non-finite values are ignored, not propagated.
+	if g := syncron.Geomean([]float64{2, 8, 0, -3, math.Inf(1), math.NaN()}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean with junk = %f, want 4", g)
+	}
+}
+
+func TestResultSetGrouping(t *testing.T) {
+	rs := syncron.ResultSet{
+		synth("a", syncron.KindPrimitive, syncron.SchemeCentral, 100),
+		synth("a", syncron.KindPrimitive, syncron.SchemeSynCron, 50),
+		synth("b", syncron.KindGraph, syncron.SchemeCentral, 0,
+			func(r *syncron.RunResult) { r.Err = "boom" }),
+	}
+	if got := rs.Ok(); len(got) != 2 {
+		t.Fatalf("Ok() = %d results, want 2", len(got))
+	}
+	if got := rs.Failed(); len(got) != 1 || got[0].Spec.Workload != "b" {
+		t.Fatalf("Failed() = %+v, want the one failed run", got)
+	}
+	if got := rs.Workloads(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Workloads() = %v", got)
+	}
+	if got := rs.Schemes(); len(got) != 2 || got[0] != syncron.SchemeCentral {
+		t.Fatalf("Schemes() = %v", got)
+	}
+	if got := rs.ByWorkload(); len(got["a"]) != 2 || len(got["b"]) != 1 {
+		t.Fatalf("ByWorkload() = %v", got)
+	}
+}
+
+func TestJoinBaseline(t *testing.T) {
+	rs := syncron.ResultSet{
+		synth("a", syncron.KindPrimitive, syncron.SchemeCentral, 100),
+		synth("a", syncron.KindPrimitive, syncron.SchemeSynCron, 50),
+	}
+	pairs, err := rs.JoinBaseline(syncron.SchemeCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("joined %d pairs, want 2 (baseline joins itself too)", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Baseline.Spec.Config.Scheme != syncron.SchemeCentral {
+			t.Fatalf("pair joined against %s", p.Baseline.Spec.Config.Scheme)
+		}
+	}
+	// A run at a grid point the baseline never visited is an error, not a
+	// silent drop.
+	rs = append(rs, synth("a", syncron.KindPrimitive, syncron.SchemeHier, 80,
+		func(r *syncron.RunResult) { r.Spec.Config.Units = 2 }))
+	if _, err := rs.JoinBaseline(syncron.SchemeCentral); err == nil {
+		t.Fatal("missing baseline grid point must fail the join")
+	}
+	if _, err := rs.JoinBaseline(syncron.SchemeIdeal); err == nil {
+		t.Fatal("absent baseline scheme must fail the join")
+	}
+}
+
+func TestSpeedupVsBaseline(t *testing.T) {
+	results := []syncron.RunResult{
+		// Different derived seeds must not break the join.
+		synth("lock", syncron.KindPrimitive, syncron.SchemeCentral, 100,
+			func(r *syncron.RunResult) { r.Spec.Config.Seed = 11 }),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeSynCron, 25,
+			func(r *syncron.RunResult) { r.Spec.Config.Seed = 22 }),
+		synth("stack", syncron.KindDataStructure, syncron.SchemeCentral, 100),
+		synth("stack", syncron.KindDataStructure, syncron.SchemeSynCron, 100),
+	}
+	table, err := syncron.SpeedupVsBaseline(results, syncron.SchemeCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(table.Rows))
+	}
+	// Rows sort by kind order: primitives before data structures.
+	if table.Rows[0].Workload != "lock" || table.Rows[1].Workload != "stack" {
+		t.Fatalf("row order: %s, %s", table.Rows[0].Workload, table.Rows[1].Workload)
+	}
+	lock := table.Rows[0]
+	if lock.Speedup[syncron.SchemeCentral] != 1 || lock.Speedup[syncron.SchemeSynCron] != 4 {
+		t.Fatalf("lock speedups = %v", lock.Speedup)
+	}
+	// Geomeans: primitive family {4}, ds family {1}, overall sqrt(4*1)=2.
+	if g := table.KindGeomean[syncron.KindPrimitive][syncron.SchemeSynCron]; g != 4 {
+		t.Fatalf("primitive geomean = %f, want 4", g)
+	}
+	if g := table.OverallGeomean[syncron.SchemeSynCron]; math.Abs(g-2) > 1e-12 {
+		t.Fatalf("overall geomean = %f, want 2", g)
+	}
+	if kinds := table.Kinds(); len(kinds) != 2 || kinds[0] != syncron.KindPrimitive {
+		t.Fatalf("table kinds = %v", kinds)
+	}
+}
+
+func TestSpeedupLabelsDisambiguateGridPoints(t *testing.T) {
+	results := []syncron.RunResult{
+		synth("lock", syncron.KindPrimitive, syncron.SchemeCentral, 100),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeCentral, 80,
+			func(r *syncron.RunResult) { r.Spec.Config.Units = 2 }),
+	}
+	table, err := syncron.SpeedupVsBaseline(results, syncron.SchemeCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("%d rows, want one per grid point", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if !strings.Contains(row.Label, "u=") {
+			t.Fatalf("label %q does not name the varying units axis", row.Label)
+		}
+	}
+}
+
+func TestScalability(t *testing.T) {
+	var results []syncron.RunResult
+	for units, makespan := range map[int]syncron.Time{1: 100, 2: 60, 4: 40} {
+		units, makespan := units, makespan
+		results = append(results, synth("pr.wk", syncron.KindGraph, syncron.SchemeSynCron, makespan,
+			func(r *syncron.RunResult) { r.Spec.Config.Units = units }))
+	}
+	// A second workload with a single size contributes no curve.
+	results = append(results, synth("lone", syncron.KindGraph, syncron.SchemeSynCron, 10))
+	curves, err := syncron.Scalability(results, syncron.SchemeSynCron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 1 || curves[0].Workload != "pr.wk" {
+		t.Fatalf("curves = %+v", curves)
+	}
+	pts := curves[0].Points
+	if len(pts) != 3 || pts[0].Units != 1 || pts[2].Units != 4 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].Speedup != 1 || math.Abs(pts[2].Speedup-2.5) > 1e-12 {
+		t.Fatalf("speedups = %f, %f; want 1, 2.5", pts[0].Speedup, pts[2].Speedup)
+	}
+	if _, err := syncron.Scalability(results, syncron.SchemeTTAS); err == nil {
+		t.Fatal("no runs of the requested scheme must be an error")
+	}
+}
+
+func TestEnergyAndTrafficBreakdown(t *testing.T) {
+	results := []syncron.RunResult{
+		synth("pr.wk", syncron.KindGraph, syncron.SchemeCentral, 100),
+		synth("pr.wk", syncron.KindGraph, syncron.SchemeSynCron, 50, func(r *syncron.RunResult) {
+			r.CacheEnergyPJ, r.NetworkEnergyPJ, r.MemoryEnergyPJ = 5, 15, 30
+			r.BytesInsideUnits, r.BytesAcrossUnits = 400, 100
+		}),
+	}
+	energy, err := syncron.EnergyBreakdown(results, syncron.SchemeCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(energy) != 2 {
+		t.Fatalf("%d energy rows, want 2", len(energy))
+	}
+	// Baseline total is 10+60+30=100, so the baseline row's Total is 1 and
+	// the syncron row's fractions are /100.
+	if energy[0].Scheme != syncron.SchemeCentral || energy[0].Total != 1 {
+		t.Fatalf("baseline energy row = %+v", energy[0])
+	}
+	sc := energy[1]
+	if sc.Cache != 0.05 || sc.Network != 0.15 || sc.Memory != 0.30 || sc.Total != 0.50 {
+		t.Fatalf("syncron energy row = %+v", sc)
+	}
+
+	traffic, err := syncron.TrafficBreakdown(results, syncron.SchemeCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traffic[0].Total != 1 || traffic[1].Inside != 0.4 || traffic[1].Across != 0.1 {
+		t.Fatalf("traffic rows = %+v", traffic)
+	}
+}
+
+func TestSTAblation(t *testing.T) {
+	mk := func(scheme syncron.Scheme, st int, makespan syncron.Time, overflowed float64) syncron.RunResult {
+		return synth("ts.air", syncron.KindTimeSeries, scheme, makespan,
+			func(r *syncron.RunResult) {
+				r.Spec.Config.STEntries = st
+				r.OverflowedFraction = overflowed
+			})
+	}
+	rows, err := syncron.STAblation([]syncron.RunResult{
+		mk(syncron.SchemeSynCron, 16, 150, 0.3),
+		mk(syncron.SchemeSynCron, 64, 100, 0),
+		// The flat variant forms its own curve with its own largest-ST base.
+		mk(syncron.SchemeSynCronFlat, 16, 90, 0),
+		mk(syncron.SchemeSynCronFlat, 64, 60, 0),
+		synth("ts.air", syncron.KindTimeSeries, syncron.SchemeCentral, 500), // ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (non-SynCron schemes ignored)", len(rows))
+	}
+	// Rows sort by scheme then ST descending; each curve normalizes its
+	// slowdown to its own largest-ST run, never the other scheme's.
+	hier := rows[:2]
+	if hier[0].Scheme != syncron.SchemeSynCron || hier[0].STEntries != 64 || hier[0].SlowdownVsLargest != 1 {
+		t.Fatalf("largest-ST row = %+v", hier[0])
+	}
+	if hier[1].STEntries != 16 || hier[1].SlowdownVsLargest != 1.5 || hier[1].Overflowed != 0.3 {
+		t.Fatalf("16-entry row = %+v", hier[1])
+	}
+	flat := rows[2:]
+	if flat[0].Scheme != syncron.SchemeSynCronFlat || flat[0].SlowdownVsLargest != 1 {
+		t.Fatalf("flat largest-ST row = %+v", flat[0])
+	}
+	if flat[1].SlowdownVsLargest != 1.5 {
+		t.Fatalf("flat 16-entry slowdown = %f, want 1.5 (vs its own base)", flat[1].SlowdownVsLargest)
+	}
+}
+
+func TestFigureEmitters(t *testing.T) {
+	f := &syncron.Figure{
+		ID:      "demo",
+		Title:   "demo figure",
+		Columns: []string{"workload", "x"},
+		Rows:    [][]string{{"lock", "1.00"}, {"stack", "2.00"}},
+		Notes:   "a note",
+	}
+	var md bytes.Buffer
+	if err := f.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## demo — demo figure", "| workload | x |", "|---|---:|",
+		"| lock | 1.00 |", "_a note_"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := csv.String(); got != "workload,x\nlock,1.00\nstack,2.00\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+// TestFiguresEndToEnd runs the real pipeline twice on a tiny grid and checks
+// the rendered output is byte-identical — the determinism the figures
+// subcommand promises — and structurally complete.
+func TestFiguresEndToEnd(t *testing.T) {
+	opt := syncron.FigureOptions{
+		Workloads: []string{"lock", "stack"},
+		Schemes: []syncron.Scheme{syncron.SchemeCentral, syncron.SchemeHier,
+			syncron.SchemeSynCron},
+		Scale: 0.02,
+	}
+	render := func() string {
+		figs, err := syncron.Figures(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		for _, f := range figs {
+			if err := f.WriteMarkdown(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String()
+	}
+	first := render()
+	wantIDs := []string{"## throughput", "## speedup", "## scalability", "## energy",
+		"## traffic", "## st-ablation"}
+	for _, id := range wantIDs {
+		if !strings.Contains(first, id) {
+			t.Errorf("figures missing %q", id)
+		}
+	}
+	if !strings.Contains(first, "geomean (primitive)") ||
+		!strings.Contains(first, "geomean (all)") {
+		t.Error("speedup figure missing geomean rows")
+	}
+	if strings.Contains(first, "NaN") || strings.Contains(first, "Inf") {
+		t.Error("figures contain non-finite cells")
+	}
+	if second := render(); second != first {
+		t.Error("two identical Figures invocations rendered different output")
+	}
+}

@@ -15,6 +15,11 @@
 //	syncron-sim sweep -workloads lock,barrier -units-list 1,2,4 -workers 8 -json out.json
 //	syncron-sim sweep -workloads ts.air -schemes syncron -st-list 16,32,64 -csv out.csv
 //
+// Paper figures (Markdown tables, optionally one CSV per figure):
+//
+//	syncron-sim figures --quick
+//	syncron-sim figures -baseline central -md figures.md -csv-dir out/
+//
 // Discovery:
 //
 //	syncron-sim list
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -42,17 +48,18 @@ func main() {
 		runCmd(args)
 	case "sweep":
 		sweepCmd(args)
+	case "figures":
+		figuresCmd(args)
 	case "list":
 		listCmd()
 	default:
-		fatal("unknown subcommand %q (want run, sweep, or list)", cmd)
+		fatal("unknown subcommand %q (want run, sweep, figures, or list)", cmd)
 	}
 }
 
 // listCmd prints every registered workload grouped by kind.
 func listCmd() {
-	for _, kind := range []syncron.WorkloadKind{syncron.KindPrimitive,
-		syncron.KindDataStructure, syncron.KindGraph, syncron.KindTimeSeries} {
+	for _, kind := range syncron.Kinds() {
 		fmt.Printf("%-17s %s\n", kind, strings.Join(syncron.WorkloadNamesOfKind(kind), ", "))
 	}
 }
@@ -227,6 +234,94 @@ func sweepCmd(args []string) {
 	}
 	if failed > 0 {
 		fatal("%d of %d runs failed", failed, len(results))
+	}
+}
+
+// figuresCmd runs the canonical figure grids and emits the paper's
+// evaluation views as Markdown tables (plus optional per-figure CSVs).
+func figuresCmd(args []string) {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	var (
+		quick     = fs.Bool("quick", false, "representative 12-workload subset at reduced scale (~seconds)")
+		baseline  = fs.String("baseline", "central", "scheme every view is normalized to")
+		schemes   = fs.String("schemes", "central,hier,syncron,ideal", "comma-separated schemes to compare")
+		workloads = fs.String("workloads", "", "comma-separated workload names for the main grid (empty = canonical set)")
+		scale     = fs.Float64("scale", 0, "workload scale factor (0 = canonical default)")
+		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS); never affects results")
+		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
+		mdOut     = fs.String("md", "-", "Markdown output path (- = stdout)")
+		csvDir    = fs.String("csv-dir", "", "also write one <figure>.csv per figure into this directory")
+	)
+	fs.Parse(args)
+
+	base, err := syncron.ParseScheme(*baseline)
+	if err != nil {
+		fatal("%v", err)
+	}
+	opt := syncron.FigureOptions{
+		Quick:    *quick,
+		Baseline: base,
+		Scale:    *scale,
+		Workers:  *workers,
+		BaseSeed: *baseSeed,
+	}
+	for _, name := range splitList(*schemes) {
+		sch, err := syncron.ParseScheme(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		opt.Schemes = append(opt.Schemes, sch)
+	}
+	for _, name := range splitList(*workloads) {
+		if _, ok := syncron.LookupWorkload(name); !ok {
+			fatal("unknown workload %q (try `syncron-sim list`)", name)
+		}
+		opt.Workloads = append(opt.Workloads, name)
+	}
+
+	figs, err := syncron.Figures(opt)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	out := os.Stdout
+	if *mdOut != "-" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal("closing %s: %v", *mdOut, err)
+			}
+		}()
+		out = f
+	}
+	fmt.Fprintf(out, "# SynCron paper figures\n\nBaseline scheme: `%s`. "+
+		"All runs use deterministic per-run seeds (base seed %d).\n\n", base, *baseSeed)
+	for _, fig := range figs {
+		if err := fig.WriteMarkdown(out); err != nil {
+			fatal("writing Markdown: %v", err)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal("%v", err)
+		}
+		for _, fig := range figs {
+			path := filepath.Join(*csvDir, fig.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := fig.WriteCSV(f); err != nil {
+				f.Close()
+				fatal("writing %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("closing %s: %v", path, err)
+			}
+		}
 	}
 }
 

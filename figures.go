@@ -1,0 +1,408 @@
+package syncron
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Figure is one rendered paper-style artifact: a titled table that can be
+// emitted as Markdown (WriteMarkdown) or CSV (WriteCSV). Figures hold
+// pre-formatted cells so the two emitters agree exactly.
+type Figure struct {
+	// ID is a short stable identifier (e.g. "speedup"), used for CSV file
+	// names and anchors.
+	ID string
+	// Title says what the table shows and what it is normalized to.
+	Title string
+	// Columns and Rows are the table; every row has len(Columns) cells.
+	Columns []string
+	Rows    [][]string
+	// Notes is an optional footnote (e.g. the paper's headline numbers).
+	Notes string
+}
+
+// WriteMarkdown renders the figure as a GitHub-flavored Markdown table with a
+// heading and optional footnote. The first column is left-aligned, the rest
+// right-aligned.
+func (f *Figure) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", f.ID, f.Title)
+	b.WriteString("| " + strings.Join(f.Columns, " | ") + " |\n")
+	b.WriteString("|---")
+	for range f.Columns[1:] {
+		b.WriteString("|---:")
+	}
+	b.WriteString("|\n")
+	for _, row := range f.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", f.Notes)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the figure's columns and rows as CSV, without the title
+// and notes.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Columns); err != nil {
+		return err
+	}
+	for _, row := range f.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FigureOptions configures the canonical figure grids of Figures. The zero
+// value (with or without Quick) is a valid, deterministic configuration.
+type FigureOptions struct {
+	// Quick runs a representative 12-workload subset at reduced scale
+	// (seconds instead of a minute) — the smoke-test mode of
+	// `syncron-sim figures --quick`.
+	Quick bool
+	// Baseline is the scheme speedups, energy, and traffic are normalized
+	// to (default SchemeCentral). It is added to Schemes if missing.
+	Baseline Scheme
+	// Schemes are the compared schemes (default central, hier, syncron,
+	// ideal — the paper's Figure order).
+	Schemes []Scheme
+	// Workloads overrides the main grid's workload list (default: every
+	// registered workload, or the representative subset under Quick).
+	Workloads []string
+	// Scale is the workload scale factor (default 0.25, or 0.1 under Quick).
+	Scale float64
+	// Workers bounds simultaneous runs (default GOMAXPROCS). It affects
+	// wall-clock time only, never results.
+	Workers int
+	// BaseSeed is the single simulation seed shared by EVERY figure run
+	// (default 1). Sharing one seed — rather than deriving per-run seeds à
+	// la RunSpecs — guarantees all schemes and ST sizes simulate the
+	// identical workload instance, so normalized views compare like with
+	// like.
+	BaseSeed uint64
+}
+
+// quickWorkloads is the Quick subset: all four primitives, four data
+// structures, two graph workloads, and both time-series inputs.
+var quickWorkloads = []string{
+	"lock", "barrier", "semaphore", "condvar",
+	"stack", "queue", "hashtable", "skiplist",
+	"pr.wk", "bfs.wk",
+	"ts.air", "ts.pow",
+}
+
+// scalabilityWorkloads are the Figure-13 scaling subjects (real applications
+// — scaling a fixed-size microbenchmark only adds contention); the ST
+// ablation uses the sync-intensive stAblationWorkloads (Figure 22 picks
+// workloads that actually pressure the table).
+var (
+	scalabilityWorkloads      = []string{"bfs.sl", "pr.wk", "ts.air", "ts.pow"}
+	stAblationWorkloads       = []string{"ts.air", "bst_fg"}
+	stAblationSizes           = []int{64, 48, 32, 16, 8}
+	stAblationSizesQuick      = []int{64, 16, 8}
+	scalabilityUnits          = []int{1, 2, 3, 4}
+	scalabilityUnitsQuick     = []int{1, 2, 4}
+	defaultComparisonBaseline = SchemeCentral
+)
+
+// withDefaults resolves the option defaults and guarantees the baseline
+// scheme is part of the compared schemes.
+func (o FigureOptions) withDefaults() FigureOptions {
+	if o.Baseline == "" {
+		o.Baseline = defaultComparisonBaseline
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = []Scheme{SchemeCentral, SchemeHier, SchemeSynCron, SchemeIdeal}
+	}
+	hasBaseline := false
+	for _, s := range o.Schemes {
+		if s == o.Baseline {
+			hasBaseline = true
+		}
+	}
+	if !hasBaseline {
+		o.Schemes = append([]Scheme{o.Baseline}, o.Schemes...)
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.25
+		if o.Quick {
+			o.Scale = 0.1
+		}
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = WorkloadNames()
+		if o.Quick {
+			o.Workloads = quickWorkloads
+		}
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	return o
+}
+
+// Figures runs the canonical grids and renders the paper's evaluation views:
+//
+//   - throughput: operations/ms per workload and scheme (Figures 10-11)
+//   - speedup: speedup over the baseline scheme with geomean rows per
+//     workload family (Figure 12)
+//   - scalability: SynCron speedup over its smallest system size (Figure 13)
+//   - energy: energy split normalized to the baseline's total (Figure 14)
+//   - traffic: data movement normalized to the baseline's total (Figure 15)
+//   - st-ablation: ST occupancy, overflow, and slowdown vs ST size
+//     (Figure 22 / Table 7)
+//
+// Output is deterministic for fixed options: runs get seeds derived from
+// BaseSeed and grid position, independent of Workers. Any failed run aborts
+// with an error naming it.
+func Figures(opt FigureOptions) ([]*Figure, error) {
+	o := opt.withDefaults()
+
+	grid, err := runGrid(Sweep{
+		Workloads: o.Workloads,
+		Schemes:   o.Schemes,
+		Params:    WorkloadParams{Scale: o.Scale},
+		Workers:   o.Workers,
+		Base:      Config{Seed: o.BaseSeed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	table, err := SpeedupVsBaseline(grid, o.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	figs := []*Figure{
+		throughputFigure(table),
+		speedupFigure(table),
+	}
+
+	scalUnits := scalabilityUnits
+	if o.Quick {
+		scalUnits = scalabilityUnitsQuick
+	}
+	// Scaling needs enough work per core to amortize remote accesses, so the
+	// scalability grid runs larger inputs than the main grid (like the
+	// paper, whose Figure 13 uses the full-size applications).
+	scalGrid, err := runGrid(Sweep{
+		Workloads: registeredOnly(scalabilityWorkloads),
+		Schemes:   []Scheme{SchemeSynCron},
+		Units:     scalUnits,
+		Params:    WorkloadParams{Scale: o.Scale * 5},
+		Workers:   o.Workers,
+		Base:      Config{Seed: o.BaseSeed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	curves, err := Scalability(scalGrid, SchemeSynCron)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, scalabilityFigure(curves, scalUnits))
+
+	energy, err := EnergyBreakdown(grid, o.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, energyFigure(energy, o.Baseline))
+
+	traffic, err := TrafficBreakdown(grid, o.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, trafficFigure(traffic, o.Baseline))
+
+	stSizes := stAblationSizes
+	if o.Quick {
+		stSizes = stAblationSizesQuick
+	}
+	stGrid, err := runGrid(Sweep{
+		Workloads: registeredOnly(stAblationWorkloads),
+		Schemes:   []Scheme{SchemeSynCron},
+		STEntries: stSizes,
+		Params:    WorkloadParams{Scale: o.Scale},
+		Workers:   o.Workers,
+		Base:      Config{Seed: o.BaseSeed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ablation, err := STAblation(stGrid)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, stAblationFigure(ablation))
+	return figs, nil
+}
+
+// runGrid executes a sweep and converts any failed run into an error, so
+// figures are never silently built from partial grids.
+func runGrid(s Sweep) ([]RunResult, error) {
+	results := s.Run()
+	for _, r := range ResultSet(results).Failed() {
+		return nil, fmt.Errorf("syncron: %s under %s failed: %s",
+			r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+	}
+	return results, nil
+}
+
+// registeredOnly filters names down to those present in the registry, so the
+// canonical figure subsets survive a build with a trimmed workload set.
+func registeredOnly(names []string) []string {
+	var out []string
+	for _, name := range names {
+		if _, ok := LookupWorkload(name); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func throughputFigure(t *SpeedupTable) *Figure {
+	f := &Figure{
+		ID:      "throughput",
+		Title:   "Throughput in operations/ms per scheme (Figures 10-11)",
+		Columns: append([]string{"workload"}, schemeColumns(t.Schemes)...),
+	}
+	for _, row := range t.Rows {
+		cells := []string{row.Label}
+		for _, s := range t.Schemes {
+			cells = append(cells, fmtF1(row.Throughput[s]))
+		}
+		f.Rows = append(f.Rows, cells)
+	}
+	return f
+}
+
+func speedupFigure(t *SpeedupTable) *Figure {
+	f := &Figure{
+		ID: "speedup",
+		Title: fmt.Sprintf("Speedup normalized to %s, geomean per workload family (Figure 12)",
+			t.Baseline),
+		Columns: append([]string{"workload"}, schemeColumns(t.Schemes)...),
+		Notes: "paper AVG (26 applications): Hier 1.19x, SynCron 1.47x, Ideal 1.62x over Central; " +
+			"SynCron within 9.5% of Ideal",
+	}
+	emitGeomean := func(label string, by map[Scheme]float64) {
+		cells := []string{"**" + label + "**"}
+		for _, s := range t.Schemes {
+			cells = append(cells, "**"+fmtF2(by[s])+"**")
+		}
+		f.Rows = append(f.Rows, cells)
+	}
+	kinds := t.Kinds()
+	for _, kind := range kinds {
+		for _, row := range t.Rows {
+			if row.Kind != kind {
+				continue
+			}
+			cells := []string{row.Label}
+			for _, s := range t.Schemes {
+				cells = append(cells, fmtF2(row.Speedup[s]))
+			}
+			f.Rows = append(f.Rows, cells)
+		}
+		emitGeomean("geomean ("+string(kind)+")", t.KindGeomean[kind])
+	}
+	if len(kinds) > 1 {
+		emitGeomean("geomean (all)", t.OverallGeomean)
+	}
+	return f
+}
+
+func scalabilityFigure(curves []ScalabilityCurve, units []int) *Figure {
+	f := &Figure{
+		ID:    "scalability",
+		Title: "SynCron speedup over its smallest configuration vs NDP units (Figure 13)",
+		Notes: "paper: 2.03x on average at 4 NDP units (range 1.32x-3.03x)",
+	}
+	f.Columns = []string{"workload"}
+	for _, u := range units {
+		f.Columns = append(f.Columns, fmt.Sprintf("%d unit(s)", u))
+	}
+	for _, c := range curves {
+		cells := []string{c.Workload}
+		byUnits := map[int]ScalabilityPoint{}
+		for _, pt := range c.Points {
+			byUnits[pt.Units] = pt
+		}
+		for _, u := range units {
+			if pt, ok := byUnits[u]; ok {
+				cells = append(cells, fmtF2(pt.Speedup))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		f.Rows = append(f.Rows, cells)
+	}
+	return f
+}
+
+func energyFigure(rows []EnergyRow, baseline Scheme) *Figure {
+	f := &Figure{
+		ID: "energy",
+		Title: fmt.Sprintf("Energy split (cache/network/memory), normalized to %s total = 1.0 (Figure 14)",
+			baseline),
+		Columns: []string{"workload", "scheme", "cache", "network", "memory", "total"},
+		Notes:   "paper: SynCron reduces energy 2.22x vs Central and 1.94x vs Hier, within 6.2% of Ideal",
+	}
+	for _, r := range rows {
+		f.Rows = append(f.Rows, []string{r.Label, string(r.Scheme),
+			fmtF2(r.Cache), fmtF2(r.Network), fmtF2(r.Memory), fmtF2(r.Total)})
+	}
+	return f
+}
+
+func trafficFigure(rows []TrafficRow, baseline Scheme) *Figure {
+	f := &Figure{
+		ID: "traffic",
+		Title: fmt.Sprintf("Data movement inside/across NDP units, normalized to %s total = 1.0 (Figure 15)",
+			baseline),
+		Columns: []string{"workload", "scheme", "inside", "across", "total"},
+		Notes:   "paper: SynCron reduces data movement 2.08x vs Central and 2.04x vs Hier",
+	}
+	for _, r := range rows {
+		f.Rows = append(f.Rows, []string{r.Label, string(r.Scheme),
+			fmtF2(r.Inside), fmtF2(r.Across), fmtF2(r.Total)})
+	}
+	return f
+}
+
+func stAblationFigure(rows []OccupancyRow) *Figure {
+	f := &Figure{
+		ID:      "st-ablation",
+		Title:   "SynCron ST occupancy, overflow, and slowdown vs ST size (Figure 22 / Table 7)",
+		Columns: []string{"workload", "ST entries", "ops/ms", "slowdown", "max occ", "mean occ", "overflowed"},
+		Notes: "paper: graphs never overflow at 64 entries; time series overflows below 48 entries " +
+			"with small slowdowns",
+	}
+	for _, r := range rows {
+		f.Rows = append(f.Rows, []string{r.Workload, fmt.Sprint(r.STEntries),
+			fmtF1(r.OpsPerMs), fmtF2(r.SlowdownVsLargest),
+			fmtPct(r.MaxOccupancy), fmtPct(r.MeanOccupancy), fmtPct(r.Overflowed)})
+	}
+	return f
+}
+
+// schemeColumns renders scheme names as column headers.
+func schemeColumns(schemes []Scheme) []string {
+	var cols []string
+	for _, s := range schemes {
+		cols = append(cols, string(s))
+	}
+	return cols
+}
+
+func fmtF1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func fmtF2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

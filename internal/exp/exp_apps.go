@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"syncron"
 	"syncron/internal/mem"
 	"syncron/internal/sim"
 )
@@ -16,6 +17,21 @@ var combosSubset = []GraphRun{
 
 func (g GraphRun) String() string { return g.App + "." + g.Input }
 
+// names lists the registry names of runs (GraphRun strings are registry keys).
+func names(runs []GraphRun) []string {
+	var out []string
+	for _, run := range runs {
+		out = append(out, run.String())
+	}
+	return out
+}
+
+// sweep26 runs the 26 application-input combinations across the four main
+// schemes through the public sweep engine.
+func sweep26(scale float64) []syncron.RunResult {
+	return sweepRegistry(names(Combos26()), parsedSchemes(), scale)
+}
+
 func init() {
 	register(&Experiment{
 		ID:    "fig12",
@@ -26,27 +42,22 @@ func init() {
 				Title:   "Real applications: speedup normalized to Central",
 				Columns: []string{"workload", "central", "hier", "syncron", "ideal"},
 			}
-			sums := map[string]float64{}
-			n := 0
-			for _, run := range Combos26() {
-				times := map[string]sim.Time{}
-				for _, scheme := range Schemes {
-					times[scheme] = RunGraph(Spec{Backend: scheme}, run, scale, false).Makespan
-				}
-				row := []string{run.String()}
-				for _, scheme := range Schemes {
-					sp := float64(times["central"]) / float64(times[scheme])
-					sums[scheme] += sp
-					row = append(row, f2(sp))
-				}
-				n++
-				t.Rows = append(t.Rows, row)
+			st, err := syncron.SpeedupVsBaseline(sweep26(scale), syncron.SchemeCentral)
+			if err != nil {
+				panic(fmt.Sprintf("exp: %v", err))
 			}
-			avg := []string{"AVG"}
-			for _, scheme := range Schemes {
-				avg = append(avg, f2(sums[scheme]/float64(n)))
+			for _, row := range st.Rows {
+				cells := []string{row.Workload}
+				for _, scheme := range parsedSchemes() {
+					cells = append(cells, f2(row.Speedup[scheme]))
+				}
+				t.Rows = append(t.Rows, cells)
 			}
-			t.Rows = append(t.Rows, avg)
+			geo := []string{"GEOMEAN"}
+			for _, scheme := range parsedSchemes() {
+				geo = append(geo, f2(st.OverallGeomean[scheme]))
+			}
+			t.Rows = append(t.Rows, geo)
 			t.Notes = "paper AVG: Hier 1.19x, SynCron 1.47x, Ideal 1.62x over Central (SynCron within 9.5% of Ideal)"
 			return []*Table{t}
 		},
@@ -98,18 +109,14 @@ func init() {
 				Title:   "Energy (normalized to Central = 1.0) split into cache/network/memory",
 				Columns: []string{"workload", "scheme", "cache", "network", "memory", "total"},
 			}
-			for _, run := range combosSubset {
-				var centralTotal float64
-				for _, scheme := range Schemes {
-					res := RunGraph(Spec{Backend: scheme}, run, scale, false)
-					e := res.Energy
-					if scheme == "central" {
-						centralTotal = e.Total()
-					}
-					t.Rows = append(t.Rows, []string{run.String(), scheme,
-						f2(e.CachePJ / centralTotal), f2(e.NetworkPJ / centralTotal),
-						f2(e.MemoryPJ / centralTotal), f2(e.Total() / centralTotal)})
-				}
+			rows, err := syncron.EnergyBreakdown(
+				sweepRegistry(names(combosSubset), parsedSchemes(), scale), syncron.SchemeCentral)
+			if err != nil {
+				panic(fmt.Sprintf("exp: %v", err))
+			}
+			for _, r := range rows {
+				t.Rows = append(t.Rows, []string{r.Workload, string(r.Scheme),
+					f2(r.Cache), f2(r.Network), f2(r.Memory), f2(r.Total)})
 			}
 			t.Notes = "paper: SynCron reduces energy 2.22x vs Central, 1.94x vs Hier, within 6.2% of Ideal"
 			return []*Table{t}
@@ -125,19 +132,14 @@ func init() {
 				Title:   "Bytes moved (normalized to Central total) inside vs across NDP units",
 				Columns: []string{"workload", "scheme", "inside", "across", "total"},
 			}
-			for _, run := range combosSubset {
-				var centralTotal float64
-				for _, scheme := range Schemes {
-					res := RunGraph(Spec{Backend: scheme}, run, scale, false)
-					total := float64(res.IntraB + res.InterB)
-					if scheme == "central" {
-						centralTotal = total
-					}
-					t.Rows = append(t.Rows, []string{run.String(), scheme,
-						f2(float64(res.IntraB) / centralTotal),
-						f2(float64(res.InterB) / centralTotal),
-						f2(total / centralTotal)})
-				}
+			rows, err := syncron.TrafficBreakdown(
+				sweepRegistry(names(combosSubset), parsedSchemes(), scale), syncron.SchemeCentral)
+			if err != nil {
+				panic(fmt.Sprintf("exp: %v", err))
+			}
+			for _, r := range rows {
+				t.Rows = append(t.Rows, []string{r.Workload, string(r.Scheme),
+					f2(r.Inside), f2(r.Across), f2(r.Total)})
 			}
 			t.Notes = "paper: SynCron reduces data movement 2.08x vs Central and 2.04x vs Hier"
 			return []*Table{t}
@@ -278,17 +280,23 @@ func init() {
 				Title:   "Slowdown vs 64-entry ST (and % overflowed requests)",
 				Columns: []string{"workload", "ST", "slowdown", "overflowed"},
 			}
-			runs := []GraphRun{{"cc", "wk"}, {"pr", "wk"}, {"ts", "air"}, {"ts", "pow"}}
-			for _, run := range runs {
-				var base sim.Time
-				for _, st := range []int{64, 48, 32, 16, 8} {
-					res := RunGraph(Spec{Backend: "syncron", STEntries: st}, run, scale, false)
-					if st == 64 {
-						base = res.Makespan
-					}
-					t.Rows = append(t.Rows, []string{run.String(), fmt.Sprint(st),
-						f2(float64(res.Makespan) / float64(base)), pct(res.OverflowF)})
-				}
+			results := syncron.Sweep{
+				Workloads: names([]GraphRun{{"cc", "wk"}, {"pr", "wk"}, {"ts", "air"}, {"ts", "pow"}}),
+				Schemes:   []syncron.Scheme{syncron.SchemeSynCron},
+				STEntries: []int{64, 48, 32, 16, 8},
+				Base:      syncron.Config{Seed: 1},
+				Params:    syncron.WorkloadParams{Scale: scale},
+			}.Run()
+			for _, r := range syncron.ResultSet(results).Failed() {
+				panic(fmt.Sprintf("exp: %s: %s", r.Spec.Workload, r.Err))
+			}
+			rows, err := syncron.STAblation(results)
+			if err != nil {
+				panic(fmt.Sprintf("exp: %v", err))
+			}
+			for _, r := range rows {
+				t.Rows = append(t.Rows, []string{r.Workload, fmt.Sprint(r.STEntries),
+					f2(r.SlowdownVsLargest), pct(r.Overflowed)})
 			}
 			t.Notes = "paper: graphs never overflow at 64 entries; ts overflows below 48 entries with small slowdowns"
 			return []*Table{t}

@@ -32,6 +32,37 @@ type Spec struct {
 // Schemes is the Figure order of the four main comparison points.
 var Schemes = []string{"central", "hier", "syncron", "ideal"}
 
+// parsedSchemes maps the Schemes figure order onto public Scheme values.
+func parsedSchemes() []syncron.Scheme {
+	out := make([]syncron.Scheme, len(Schemes))
+	for i, name := range Schemes {
+		s, err := syncron.ParseScheme(name)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v", err))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// sweepRegistry runs the (names x Schemes) grid through the public sweep
+// engine with the fixed seed the direct runners use, panicking on any
+// failure (experiment inputs are trusted). The normalization views the
+// tables need (speedup, energy, traffic) are then computed by the public
+// analysis layer rather than by hand.
+func sweepRegistry(names []string, schemes []syncron.Scheme, scale float64) []syncron.RunResult {
+	results := syncron.Sweep{
+		Workloads: names,
+		Schemes:   schemes,
+		Base:      syncron.Config{Seed: 1},
+		Params:    syncron.WorkloadParams{Scale: scale},
+	}.Run()
+	for _, r := range syncron.ResultSet(results).Failed() {
+		panic(fmt.Sprintf("exp: %s under %s: %s", r.Spec.Workload, r.Spec.Config.Scheme, r.Err))
+	}
+	return results
+}
+
 // Config translates the shorthand into the public configuration.
 func (s Spec) Config() syncron.Config {
 	scheme, err := syncron.ParseScheme(s.Backend)

@@ -105,8 +105,28 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Run executes events in timestamp order until the queue drains or Stop is
 // called. It returns the final simulation time.
 func (e *Engine) Run() Time {
+	return e.dispatch(0, false)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.dispatch(deadline, true)
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// dispatch is the single event loop behind Run and RunUntil, so engine
+// invariants — deterministic (At, seq) ordering, the Executed count, and the
+// MaxEvents runaway guard — hold on every dispatch path.
+func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
+		if bounded && e.queue[0].At > deadline {
+			break
+		}
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.dead {
 			continue
@@ -117,27 +137,6 @@ func (e *Engine) Run() Time {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
 		}
 		ev.Run()
-	}
-	return e.now
-}
-
-// RunUntil executes events with timestamps <= deadline.
-func (e *Engine) RunUntil(deadline Time) Time {
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].At > deadline {
-			break
-		}
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.At
-		e.Executed++
-		ev.Run()
-	}
-	if e.now < deadline {
-		e.now = deadline
 	}
 	return e.now
 }

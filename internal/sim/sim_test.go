@@ -108,6 +108,63 @@ func TestEngineStopAndRunUntil(t *testing.T) {
 	}
 }
 
+// TestMaxEventsGuard checks the runaway guard fires on BOTH dispatch paths.
+// RunUntil historically bypassed MaxEvents, so a self-rescheduling event
+// could spin a deadline-driven run forever without tripping the guard.
+func TestMaxEventsGuard(t *testing.T) {
+	runaway := func(e *Engine) {
+		var loop func()
+		loop = func() { e.After(1, loop) }
+		e.After(1, loop)
+	}
+	t.Run("Run", func(t *testing.T) {
+		e := NewEngine()
+		e.MaxEvents = 10
+		runaway(e)
+		defer func() {
+			if recover() == nil {
+				t.Error("Run must panic when MaxEvents is exceeded")
+			}
+			if e.Executed != e.MaxEvents+1 {
+				t.Errorf("executed %d events, want MaxEvents+1 = %d", e.Executed, e.MaxEvents+1)
+			}
+		}()
+		e.Run()
+	})
+	t.Run("RunUntil", func(t *testing.T) {
+		e := NewEngine()
+		e.MaxEvents = 10
+		runaway(e)
+		defer func() {
+			if recover() == nil {
+				t.Error("RunUntil must panic when MaxEvents is exceeded")
+			}
+			if e.Executed != e.MaxEvents+1 {
+				t.Errorf("executed %d events, want MaxEvents+1 = %d", e.Executed, e.MaxEvents+1)
+			}
+		}()
+		e.RunUntil(1000)
+	})
+}
+
+// TestRunUntilAdvancesToDeadline checks the clock lands on the deadline even
+// when the queue drains early (and that events past the deadline stay queued).
+func TestRunUntilAdvancesToDeadline(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(200, func() { ran++ })
+	if got := e.RunUntil(100); got != 100 {
+		t.Fatalf("RunUntil(100) = %v, want 100", got)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events before the deadline, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d events pending, want the post-deadline one", e.Pending())
+	}
+}
+
 func TestRNGDeterminismAndRange(t *testing.T) {
 	a, b := NewRNG(7), NewRNG(7)
 	for i := 0; i < 1000; i++ {

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Counter is a monotonically increasing event counter.
 type Counter struct{ n uint64 }
@@ -55,13 +58,18 @@ func (g *Gauge) Mean() float64 {
 	return g.weighted / float64(g.spanned)
 }
 
-// Histogram accumulates scalar samples for latency-style summaries.
+// Histogram accumulates scalar samples for latency-style summaries. Samples
+// are retained individually so exact quantiles are available; callers
+// observing unbounded streams should aggregate upstream.
 type Histogram struct {
 	n    uint64
 	sum  float64
 	sum2 float64
 	min  float64
 	max  float64
+
+	samples []float64
+	sorted  bool
 }
 
 // Observe records one sample.
@@ -75,6 +83,8 @@ func (h *Histogram) Observe(v float64) {
 	h.n++
 	h.sum += v
 	h.sum2 += v * v
+	h.samples = append(h.samples, v)
+	h.sorted = false
 }
 
 // Count returns the number of samples.
@@ -93,6 +103,31 @@ func (h *Histogram) Min() float64 { return h.min }
 
 // Max returns the largest sample (0 when empty).
 func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-quantile of the observed samples by nearest rank
+// (q is clamped to [0, 1]); it returns 0 when the histogram is empty.
+// Samples are sorted lazily, so alternating Observe and Quantile re-sorts on
+// each transition.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
 
 // StdDev returns the population standard deviation (0 when empty).
 func (h *Histogram) StdDev() float64 {

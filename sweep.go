@@ -238,6 +238,123 @@ func deriveSeed(baseSeed uint64, i int) uint64 {
 	return z
 }
 
+// ResultSet is a slice of run results with grouping and join helpers — the
+// substrate the analysis layer (analysis.go) builds its paper-figure views
+// on. Methods never mutate the receiver; they return filtered views backed by
+// fresh slices.
+type ResultSet []RunResult
+
+// Ok returns the runs that completed without error.
+func (rs ResultSet) Ok() ResultSet {
+	return rs.Filter(func(r RunResult) bool { return r.Err == "" })
+}
+
+// Failed returns the runs that reported an error.
+func (rs ResultSet) Failed() ResultSet {
+	return rs.Filter(func(r RunResult) bool { return r.Err != "" })
+}
+
+// Filter returns the runs for which keep reports true.
+func (rs ResultSet) Filter(keep func(RunResult) bool) ResultSet {
+	var out ResultSet
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Workloads returns the distinct workload names in first-seen order.
+func (rs ResultSet) Workloads() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range rs {
+		if !seen[r.Spec.Workload] {
+			seen[r.Spec.Workload] = true
+			names = append(names, r.Spec.Workload)
+		}
+	}
+	return names
+}
+
+// Schemes returns the distinct schemes in first-seen order.
+func (rs ResultSet) Schemes() []Scheme {
+	seen := map[Scheme]bool{}
+	var schemes []Scheme
+	for _, r := range rs {
+		s := r.Spec.Config.Scheme
+		if !seen[s] {
+			seen[s] = true
+			schemes = append(schemes, s)
+		}
+	}
+	return schemes
+}
+
+// ByWorkload groups the runs by workload name.
+func (rs ResultSet) ByWorkload() map[string]ResultSet {
+	out := map[string]ResultSet{}
+	for _, r := range rs {
+		out[r.Spec.Workload] = append(out[r.Spec.Workload], r)
+	}
+	return out
+}
+
+// comparisonKey identifies the grid point a run belongs to with the scheme
+// and the per-run seed stripped, so runs of different schemes on the same
+// workload and configuration land on the same key. This is the join key of
+// JoinBaseline.
+func comparisonKey(r RunResult) string {
+	cfg := r.Spec.Config
+	cfg.Scheme = ""
+	cfg.Seed = 0
+	key, err := json.Marshal(struct {
+		W string
+		C Config
+		P WorkloadParams
+	}{r.Spec.Workload, cfg, r.Spec.Params})
+	if err != nil {
+		panic(fmt.Sprintf("syncron: marshaling comparison key: %v", err))
+	}
+	return string(key)
+}
+
+// BaselinePair joins one successful run with the baseline-scheme run of the
+// same workload and grid point.
+type BaselinePair struct {
+	Run      RunResult
+	Baseline RunResult
+}
+
+// JoinBaseline pairs every successful run with the successful baseline-scheme
+// run of the same workload and configuration (all config axes except scheme
+// and seed must match). It fails if a run has no baseline counterpart: the
+// sweep did not include the baseline scheme at that grid point, or that
+// baseline run failed.
+func (rs ResultSet) JoinBaseline(baseline Scheme) ([]BaselinePair, error) {
+	ok := rs.Ok()
+	base := map[string]RunResult{}
+	for _, r := range ok {
+		if r.Spec.Config.Scheme == baseline {
+			base[comparisonKey(r)] = r
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("syncron: no successful %q runs to use as baseline", baseline)
+	}
+	pairs := make([]BaselinePair, 0, len(ok))
+	for _, r := range ok {
+		b, found := base[comparisonKey(r)]
+		if !found {
+			return nil, fmt.Errorf("syncron: %s under %s has no successful %q baseline at the same grid point",
+				r.Spec.Workload, r.Spec.Config.Scheme, baseline)
+		}
+		pairs = append(pairs, BaselinePair{Run: r, Baseline: b})
+	}
+	return pairs, nil
+}
+
 // WriteJSON emits results as indented JSON.
 func WriteJSON(w io.Writer, results []RunResult) error {
 	enc := json.NewEncoder(w)

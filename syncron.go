@@ -28,6 +28,22 @@
 //	})
 //	report := sys.Run()
 //	fmt.Println(report.Makespan, counter)
+//
+// Above single systems sit three batch layers:
+//
+//   - the workload registry (RegisterWorkload, WorkloadInfos) names every
+//     benchmark of the paper's evaluation;
+//   - the sweep engine (Sweep, Execute, RunSpecs) expands
+//     (workload x scheme x config) grids and runs them on a worker pool
+//     with deterministic per-run seeds;
+//   - the analysis layer (SpeedupVsBaseline, Scalability, EnergyBreakdown,
+//     TrafficBreakdown, STAblation, Figures) turns sweep results into the
+//     paper's evaluation views — speedup over a baseline scheme with
+//     geomean aggregation per workload family, scaling curves, energy and
+//     data-movement breakdowns, and ST occupancy/overflow ablations.
+//
+// The syncron-sim command exposes all three (run, sweep, figures, list);
+// see ARCHITECTURE.md for how an operation flows through the simulator.
 package syncron
 
 import (

@@ -6,7 +6,9 @@ import (
 	"sync"
 )
 
-// WorkloadKind classifies a registered workload.
+// WorkloadKind classifies a registered workload into one of the paper's four
+// benchmark families. Figures and the analysis layer aggregate (geomean) over
+// kinds, so every registered workload must report one.
 type WorkloadKind string
 
 // Workload kinds.
@@ -16,6 +18,50 @@ const (
 	KindGraph         WorkloadKind = "graph application"
 	KindTimeSeries    WorkloadKind = "time series"
 )
+
+// Kinds returns the four workload families in the paper's evaluation order
+// (Figure 10 microbenchmarks, Figure 11 data structures, Figure 12 graph
+// applications and time series).
+func Kinds() []WorkloadKind {
+	return []WorkloadKind{KindPrimitive, KindDataStructure, KindGraph, KindTimeSeries}
+}
+
+// kindOrder ranks a kind by its Kinds position (unknown kinds sort last).
+func kindOrder(k WorkloadKind) int {
+	for i, known := range Kinds() {
+		if k == known {
+			return i
+		}
+	}
+	return len(Kinds())
+}
+
+// WorkloadInfo is the registry metadata of one workload, used by discovery
+// (syncron-sim list) and by the analysis layer to aggregate results.
+type WorkloadInfo struct {
+	// Name is the registry key (e.g. "pr.wk").
+	Name string `json:"name"`
+	// Kind is the benchmark family figures geomean over.
+	Kind WorkloadKind `json:"kind"`
+	// Family is a finer grouping within the kind: the application for graph
+	// workloads ("pr.wk" → "pr"), "ts" for the time-series inputs, and the
+	// workload's own name otherwise.
+	Family string `json:"family"`
+}
+
+// familied is optionally implemented by workloads that belong to a named
+// family finer than their Kind (e.g. the four inputs of one graph
+// application).
+type familied interface{ Family() string }
+
+// infoOf derives the registry metadata for a workload.
+func infoOf(w Workload) WorkloadInfo {
+	info := WorkloadInfo{Name: w.Name(), Kind: w.Kind(), Family: w.Name()}
+	if f, ok := w.(familied); ok {
+		info.Family = f.Family()
+	}
+	return info
+}
 
 // WorkloadParams tunes a workload run. The zero value means "use the
 // workload's defaults"; fields irrelevant to a workload kind are ignored.
@@ -115,4 +161,35 @@ func WorkloadNamesOfKind(kind WorkloadKind) []string {
 	workloadMu.RUnlock()
 	sort.Strings(names)
 	return names
+}
+
+// LookupInfo returns the registry metadata of one workload.
+func LookupInfo(name string) (WorkloadInfo, bool) {
+	w, ok := LookupWorkload(name)
+	if !ok {
+		return WorkloadInfo{}, false
+	}
+	return infoOf(w), true
+}
+
+// WorkloadInfos returns the metadata of every registered workload, sorted by
+// kind (in Kinds order), then family, then name.
+func WorkloadInfos() []WorkloadInfo {
+	workloadMu.RLock()
+	infos := make([]WorkloadInfo, 0, len(workloadReg))
+	for _, w := range workloadReg {
+		infos = append(infos, infoOf(w))
+	}
+	workloadMu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool {
+		a, b := infos[i], infos[j]
+		if a.Kind != b.Kind {
+			return kindOrder(a.Kind) < kindOrder(b.Kind)
+		}
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		return a.Name < b.Name
+	})
+	return infos
 }

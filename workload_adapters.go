@@ -93,6 +93,7 @@ type graphWorkload struct{ app, input string }
 
 func (w graphWorkload) Name() string       { return w.app + "." + w.input }
 func (w graphWorkload) Kind() WorkloadKind { return KindGraph }
+func (w graphWorkload) Family() string     { return w.app }
 
 func (w graphWorkload) Prepare(sys *System, p WorkloadParams) (*PreparedRun, error) {
 	m := sys.Machine()
@@ -115,6 +116,7 @@ type tsWorkload struct{ input string }
 
 func (w tsWorkload) Name() string       { return "ts." + w.input }
 func (w tsWorkload) Kind() WorkloadKind { return KindTimeSeries }
+func (w tsWorkload) Family() string     { return "ts" }
 
 func (w tsWorkload) Prepare(sys *System, p WorkloadParams) (*PreparedRun, error) {
 	m := sys.Machine()
