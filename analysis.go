@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"syncron/internal/network"
 )
 
 // This file is the analysis layer: it ingests []RunResult (usually straight
@@ -152,18 +154,20 @@ func SpeedupVsBaseline(results []RunResult, baseline Scheme) (*SpeedupTable, err
 }
 
 // gridLabeler returns a labeling function that appends the values of every
-// config axis that varies across rs (units, cores per unit, memory, link
-// latency, ST entries) to the workload name, so a workload swept at several
-// grid points yields distinguishable rows.
+// config axis that varies across rs (units, cores per unit, memory,
+// topology, link latency, ST entries) to the workload name, so a workload
+// swept at several grid points yields distinguishable rows.
 func gridLabeler(rs ResultSet) func(RunResult) string {
 	var units, cores, sts = map[int]bool{}, map[int]bool{}, map[int]bool{}
 	var mems = map[MemoryTech]bool{}
+	var topos = map[Topology]bool{}
 	var links = map[Time]bool{}
 	for _, r := range rs {
 		cfg := r.Spec.Config
 		units[cfg.Units] = true
 		cores[cfg.CoresPerUnit] = true
 		mems[cfg.Memory] = true
+		topos[cfg.Topology] = true
 		links[cfg.LinkLatency] = true
 		sts[cfg.STEntries] = true
 	}
@@ -178,6 +182,9 @@ func gridLabeler(rs ResultSet) func(RunResult) string {
 		}
 		if len(mems) > 1 {
 			label += " " + cfg.Memory.String()
+		}
+		if len(topos) > 1 {
+			label += " " + string(cfg.Topology)
 		}
 		if len(links) > 1 {
 			label += fmt.Sprintf(" link=%v", cfg.LinkLatency)
@@ -366,6 +373,104 @@ func sortBreakdown[T any](rows []T, schemes []Scheme, key func(T) (WorkloadKind,
 		}
 		return rank[si] < rank[sj]
 	})
+}
+
+// TopologyRow is one (workload, scheme, topology) cell of the interconnect
+// sensitivity view: how a topology's hop count and contention change
+// makespan, network energy, and link traffic relative to the baseline
+// topology on the same workload, scheme, and grid point.
+type TopologyRow struct {
+	Workload string
+	Kind     WorkloadKind
+	Scheme   Scheme
+	Topology Topology
+	// Diameter is the topology's maximum route length at the run's unit count.
+	Diameter int
+	// AvgRouteLinks is the measured mean links per cross-unit message.
+	AvgRouteLinks float64
+	// OpsPerMs is the run's absolute throughput.
+	OpsPerMs float64
+	// SlowdownVsBase is makespan / the baseline topology's makespan (the
+	// baseline topology itself is exactly 1).
+	SlowdownVsBase float64
+	// NetworkEnergyX and LinkBytesX are the run's network energy and
+	// across-unit link bytes relative to the baseline topology's.
+	NetworkEnergyX, LinkBytesX float64
+}
+
+// TopologySensitivity builds the interconnect sensitivity view from runs
+// that sweep the Topology axis: every successful run is joined against the
+// run of the same workload, scheme, and grid point under the baseline
+// topology (default TopoAllToAll when base is empty). Rows are sorted by
+// kind, workload, scheme, then topology in Topologies order.
+func TopologySensitivity(results []RunResult, base Topology) ([]TopologyRow, error) {
+	if base == "" {
+		base = TopoAllToAll
+	}
+	ok := ResultSet(results).Ok()
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("syncron: no successful runs to build the topology sensitivity from")
+	}
+	// Join key: everything (including scheme) but topology and seed.
+	key := func(r RunResult) string {
+		return gridKey(r, func(c *Config) { c.Topology = "" })
+	}
+	baseruns := map[string]RunResult{}
+	for _, r := range ok {
+		if r.Spec.Config.Topology == base {
+			baseruns[key(r)] = r
+		}
+	}
+	if len(baseruns) == 0 {
+		return nil, fmt.Errorf("syncron: no successful %q-topology runs to use as baseline", base)
+	}
+	var rows []TopologyRow
+	for _, r := range ok {
+		b, found := baseruns[key(r)]
+		if !found {
+			return nil, fmt.Errorf("syncron: %s under %s/%s has no %q-topology baseline at the same grid point",
+				r.Spec.Workload, r.Spec.Config.Scheme, r.Spec.Config.Topology, base)
+		}
+		row := TopologyRow{
+			Workload:      r.Spec.Workload,
+			Kind:          r.Kind,
+			Scheme:        r.Spec.Config.Scheme,
+			Topology:      r.Spec.Config.Topology,
+			AvgRouteLinks: r.AvgRouteLinks,
+			OpsPerMs:      r.OpsPerMs,
+		}
+		if topo, err := network.Build(r.Spec.Config.Topology, r.Spec.Config.Units); err == nil {
+			row.Diameter = topo.Diameter()
+		}
+		if b.Makespan > 0 {
+			row.SlowdownVsBase = float64(r.Makespan) / float64(b.Makespan)
+		}
+		if b.NetworkEnergyPJ > 0 {
+			row.NetworkEnergyX = r.NetworkEnergyPJ / b.NetworkEnergyPJ
+		}
+		if b.BytesAcrossUnits > 0 {
+			row.LinkBytesX = float64(r.BytesAcrossUnits) / float64(b.BytesAcrossUnits)
+		}
+		rows = append(rows, row)
+	}
+	toporank := map[Topology]int{}
+	for i, k := range Topologies() {
+		toporank[k] = i
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Kind != b.Kind {
+			return kindOrder(a.Kind) < kindOrder(b.Kind)
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return toporank[a.Topology] < toporank[b.Topology]
+	})
+	return rows, nil
 }
 
 // OccupancyRow summarizes one (workload, scheme, ST size) run of a SynCron

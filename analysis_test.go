@@ -327,3 +327,119 @@ func TestFiguresEndToEnd(t *testing.T) {
 		t.Error("two identical Figures invocations rendered different output")
 	}
 }
+
+func TestTopologySensitivity(t *testing.T) {
+	topo := func(k syncron.Topology, makespan syncron.Time, netPJ float64, across uint64,
+		links float64) func(*syncron.RunResult) {
+		return func(r *syncron.RunResult) {
+			r.Spec.Config.Topology = k
+			r.Makespan = makespan
+			r.NetworkEnergyPJ = netPJ
+			r.BytesAcrossUnits = across
+			r.AvgRouteLinks = links
+		}
+	}
+	results := []syncron.RunResult{
+		synth("lock", syncron.KindPrimitive, syncron.SchemeSynCron, 0,
+			topo(syncron.TopoAllToAll, 100, 60, 400, 1)),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeSynCron, 0,
+			topo(syncron.TopoRing, 150, 90, 800, 2)),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeSynCron, 0,
+			topo(syncron.TopoStar, 130, 120, 800, 2)),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeCentral, 0,
+			topo(syncron.TopoAllToAll, 200, 60, 400, 1)),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeCentral, 0,
+			topo(syncron.TopoRing, 240, 90, 800, 2)),
+		synth("lock", syncron.KindPrimitive, syncron.SchemeCentral, 0,
+			topo(syncron.TopoStar, 250, 120, 800, 2)),
+	}
+	rows, err := syncron.TopologySensitivity(results, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	// Sorted by scheme (central < syncron), then Topologies() order.
+	if rows[0].Scheme != syncron.SchemeCentral || rows[0].Topology != syncron.TopoAllToAll {
+		t.Fatalf("first row = %+v", rows[0])
+	}
+	if rows[0].SlowdownVsBase != 1 || rows[0].NetworkEnergyX != 1 || rows[0].LinkBytesX != 1 {
+		t.Fatalf("baseline topology not normalized to 1: %+v", rows[0])
+	}
+	var ring syncron.TopologyRow
+	for _, r := range rows {
+		if r.Scheme == syncron.SchemeSynCron && r.Topology == syncron.TopoRing {
+			ring = r
+		}
+	}
+	if math.Abs(ring.SlowdownVsBase-1.5) > 1e-12 || math.Abs(ring.NetworkEnergyX-1.5) > 1e-12 ||
+		math.Abs(ring.LinkBytesX-2) > 1e-12 {
+		t.Fatalf("ring row wrong: %+v", ring)
+	}
+	// Diameter comes from the topology at the run's unit count (ring of 4).
+	if ring.Diameter != 2 {
+		t.Fatalf("ring diameter = %d, want 2", ring.Diameter)
+	}
+	// A topology with no baseline counterpart is an error.
+	if _, err := syncron.TopologySensitivity(results[1:2], ""); err == nil {
+		t.Fatal("missing alltoall baseline not rejected")
+	}
+}
+
+// The topology figure runs a real ≥3-topology × ≥4-scheme grid end to end
+// and must be byte-deterministic (the sweep acceptance path of the
+// interconnect refactor).
+func TestTopologyFigureEndToEnd(t *testing.T) {
+	opt := syncron.FigureOptions{
+		Workloads: []string{"lock", "stack"},
+		Schemes: []syncron.Scheme{syncron.SchemeCentral, syncron.SchemeHier,
+			syncron.SchemeSynCron, syncron.SchemeIdeal},
+		Topologies: []syncron.Topology{syncron.TopoMesh2D, syncron.TopoRing, syncron.TopoStar},
+		Scale:      0.02,
+	}
+	render := func() string {
+		figs, err := syncron.Figures(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var topo *syncron.Figure
+		for _, f := range figs {
+			if f.ID == "topology" {
+				topo = f
+			}
+		}
+		if topo == nil {
+			t.Fatal("no topology figure emitted despite Topologies option")
+		}
+		var md, csv bytes.Buffer
+		if err := topo.WriteMarkdown(&md); err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return md.String() + csv.String()
+	}
+	first := render()
+	if second := render(); second != first {
+		t.Fatalf("topology figure not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	// The canonical 4 topology workloads x 4 schemes x 4 topologies
+	// (alltoall is added as the baseline) = 64 data rows.
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	var dataRows int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") && !strings.HasPrefix(l, "| workload") {
+			dataRows++
+		}
+	}
+	if dataRows != 64 {
+		t.Fatalf("topology figure has %d data rows, want 64:\n%s", dataRows, first)
+	}
+	for _, want := range []string{"alltoall", "mesh", "ring", "star"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("topology figure missing %q:\n%s", want, first)
+		}
+	}
+}

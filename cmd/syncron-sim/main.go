@@ -14,11 +14,13 @@
 //	syncron-sim sweep -workloads stack,queue -schemes central,hier,syncron,ideal
 //	syncron-sim sweep -workloads lock,barrier -units-list 1,2,4 -workers 8 -json out.json
 //	syncron-sim sweep -workloads ts.air -schemes syncron -st-list 16,32,64 -csv out.csv
+//	syncron-sim sweep -workloads lock,stack -topology mesh,ring,alltoall -csv topo.csv
 //
 // Paper figures (Markdown tables, optionally one CSV per figure):
 //
 //	syncron-sim figures --quick
 //	syncron-sim figures -baseline central -md figures.md -csv-dir out/
+//	syncron-sim figures --quick -topologies alltoall,mesh,ring,star
 //
 // Discovery:
 //
@@ -66,12 +68,15 @@ func listCmd() {
 
 // configFlags registers the flags shared by run and sweep and returns a
 // closure resolving them into a Config, plus the raw -cores flag (total
-// client cores) so sweep can re-derive CoresPerUnit per grid point.
-func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int) {
+// client cores) so sweep can re-derive CoresPerUnit per grid point, and the
+// raw -topology flag (run takes one topology; sweep accepts a comma list as
+// a grid axis).
+func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string) {
 	var (
 		units    = fs.Int("units", 4, "NDP units")
 		cores    = fs.Int("cores", 0, "total client cores (default units*15)")
 		memTech  = fs.String("mem", "hbm", "hbm | hmc | ddr4")
+		topology = fs.String("topology", "", "interconnect: alltoall | mesh | ring | star (default alltoall); sweep accepts a comma-separated grid axis")
 		linkNS   = fs.Int64("link-ns", 0, "inter-unit transfer latency in ns (default 40)")
 		stSize   = fs.Int("st", 0, "SynCron ST entries (default 64)")
 		fairness = fs.Int("fairness", 0, "lock fairness threshold (0 = off)")
@@ -97,7 +102,20 @@ func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int) {
 			cfg.CoresPerUnit = *cores / *units
 		}
 		return cfg
-	}, cores
+	}, cores, topology
+}
+
+// parseTopologyList resolves a comma-separated -topology value.
+func parseTopologyList(s string) []syncron.Topology {
+	var topos []syncron.Topology
+	for _, name := range splitList(s) {
+		topo, err := syncron.ParseTopology(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		topos = append(topos, topo)
+	}
+	return topos
 }
 
 func runCmd(args []string) {
@@ -110,7 +128,7 @@ func runCmd(args []string) {
 		interval = fs.Int64("interval", 200, "instructions between sync points (primitives)")
 		metis    = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
 	)
-	cfg, _ := configFlags(fs)
+	cfg, _, topology := configFlags(fs)
 	fs.Parse(args)
 
 	spec := syncron.RunSpec{
@@ -124,6 +142,11 @@ func runCmd(args []string) {
 		fatal("%v", err)
 	}
 	spec.Config.Scheme = sch
+	topo, err := syncron.ParseTopology(*topology)
+	if err != nil {
+		fatal("%v", err)
+	}
+	spec.Config.Topology = topo
 	if _, ok := syncron.LookupWorkload(*workload); !ok {
 		fatal("unknown workload %q (try `syncron-sim list`)", *workload)
 	}
@@ -137,6 +160,7 @@ func runCmd(args []string) {
 func report(res syncron.RunResult) {
 	fmt.Printf("workload        %s (%s)\n", res.Spec.Workload, res.Kind)
 	fmt.Printf("scheme          %s\n", res.Spec.Config.Scheme)
+	fmt.Printf("topology        %s\n", res.Spec.Config.Topology)
 	fmt.Printf("makespan        %v\n", res.Makespan)
 	if res.Ops > 0 {
 		fmt.Printf("throughput      %.1f ops/ms (%.3f Mops/s)\n", res.OpsPerMs, res.MopsPerSec)
@@ -145,6 +169,9 @@ func report(res syncron.RunResult) {
 		res.CacheEnergyPJ/1e6, res.NetworkEnergyPJ/1e6, res.MemoryEnergyPJ/1e6, res.TotalEnergyPJ()/1e6)
 	fmt.Printf("data movement   %.1f KB inside units, %.1f KB across units\n",
 		float64(res.BytesInsideUnits)/1024, float64(res.BytesAcrossUnits)/1024)
+	if res.AvgRouteLinks > 0 {
+		fmt.Printf("route length    %.2f links per cross-unit message\n", res.AvgRouteLinks)
+	}
 	if res.STOccupancyMax > 0 || res.OverflowedFraction > 0 {
 		fmt.Printf("ST occupancy    max %.1f%%, mean %.2f%%\n", res.STOccupancyMax*100, res.STOccupancyMean*100)
 		fmt.Printf("overflowed      %.2f%% of requests\n", res.OverflowedFraction*100)
@@ -167,7 +194,7 @@ func sweepCmd(args []string) {
 		jsonOut   = fs.String("json", "-", "JSON output path (- = stdout)")
 		csvOut    = fs.String("csv", "", "also write CSV to this path")
 	)
-	cfg, cores := configFlags(fs)
+	cfg, cores, topology := configFlags(fs)
 	fs.Parse(args)
 
 	names := splitList(*workloads)
@@ -177,8 +204,9 @@ func sweepCmd(args []string) {
 		}
 	}
 	sw := syncron.Sweep{
-		Workloads: names,
-		Base:      cfg(),
+		Workloads:  names,
+		Topologies: parseTopologyList(*topology),
+		Base:       cfg(),
 		Params: syncron.WorkloadParams{Scale: *scale, OpsPerCore: *ops,
 			Interval: *interval, Metis: *metis},
 		Workers:  *workers,
@@ -247,6 +275,7 @@ func figuresCmd(args []string) {
 		schemes   = fs.String("schemes", "central,hier,syncron,ideal", "comma-separated schemes to compare")
 		workloads = fs.String("workloads", "", "comma-separated workload names for the main grid (empty = canonical set)")
 		scale     = fs.Float64("scale", 0, "workload scale factor (0 = canonical default)")
+		topos     = fs.String("topologies", "", "comma-separated topologies for the interconnect sensitivity figure (empty = skip it)")
 		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS); never affects results")
 		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
 		mdOut     = fs.String("md", "-", "Markdown output path (- = stdout)")
@@ -259,11 +288,12 @@ func figuresCmd(args []string) {
 		fatal("%v", err)
 	}
 	opt := syncron.FigureOptions{
-		Quick:    *quick,
-		Baseline: base,
-		Scale:    *scale,
-		Workers:  *workers,
-		BaseSeed: *baseSeed,
+		Quick:      *quick,
+		Baseline:   base,
+		Scale:      *scale,
+		Workers:    *workers,
+		BaseSeed:   *baseSeed,
+		Topologies: parseTopologyList(*topos),
 	}
 	for _, name := range splitList(*schemes) {
 		sch, err := syncron.ParseScheme(name)

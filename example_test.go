@@ -100,3 +100,30 @@ func ExampleLookupInfo() {
 	fmt.Println(ok, info.Kind, info.Family)
 	// Output: true graph application pr
 }
+
+// ExampleWithTopology runs the same contended workload on two interconnect
+// topologies: the paper's all-to-all wiring and a star, where every
+// cross-unit message takes two links through a shared switch.
+func ExampleWithTopology() {
+	makespan := func(topo syncron.Topology) syncron.Time {
+		sys := syncron.New(
+			syncron.WithTopology(topo),
+			syncron.WithUnits(4),
+			syncron.WithCoresPerUnit(2),
+		)
+		lock := sys.AllocLocal(0, 64)
+		counter := 0
+		sys.Spawn(sys.NumCores(), func(ctx *syncron.Context) {
+			for i := 0; i < 20; i++ {
+				ctx.Lock(lock)
+				counter++
+				ctx.Unlock(lock)
+			}
+		})
+		return sys.Run().Makespan
+	}
+	direct := makespan(syncron.TopoAllToAll)
+	hub := makespan(syncron.TopoStar)
+	fmt.Println(direct > 0, hub > direct)
+	// Output: true true
+}

@@ -78,6 +78,12 @@ type FigureOptions struct {
 	// Workloads overrides the main grid's workload list (default: every
 	// registered workload, or the representative subset under Quick).
 	Workloads []string
+	// Topologies, when non-empty, adds the interconnect sensitivity figure:
+	// the topology grid runs topologyWorkloads under every compared scheme
+	// for each listed topology (TopoAllToAll is added as the normalization
+	// baseline if missing). Leaving it empty skips the figure, keeping the
+	// default figure set — and its byte-exact output — unchanged.
+	Topologies []Topology
 	// Scale is the workload scale factor (default 0.25, or 0.1 under Quick).
 	Scale float64
 	// Workers bounds simultaneous runs (default GOMAXPROCS). It affects
@@ -106,6 +112,7 @@ var quickWorkloads = []string{
 // workloads that actually pressure the table).
 var (
 	scalabilityWorkloads      = []string{"bfs.sl", "pr.wk", "ts.air", "ts.pow"}
+	topologyWorkloads         = []string{"lock", "stack", "pr.wk", "ts.air"}
 	stAblationWorkloads       = []string{"ts.air", "bst_fg"}
 	stAblationSizes           = []int{64, 48, 32, 16, 8}
 	stAblationSizesQuick      = []int{64, 16, 8}
@@ -147,6 +154,17 @@ func (o FigureOptions) withDefaults() FigureOptions {
 	if o.BaseSeed == 0 {
 		o.BaseSeed = 1
 	}
+	if len(o.Topologies) > 0 {
+		hasBase := false
+		for _, t := range o.Topologies {
+			if t == TopoAllToAll {
+				hasBase = true
+			}
+		}
+		if !hasBase {
+			o.Topologies = append([]Topology{TopoAllToAll}, o.Topologies...)
+		}
+	}
 	return o
 }
 
@@ -160,6 +178,9 @@ func (o FigureOptions) withDefaults() FigureOptions {
 //   - traffic: data movement normalized to the baseline's total (Figure 15)
 //   - st-ablation: ST occupancy, overflow, and slowdown vs ST size
 //     (Figure 22 / Table 7)
+//   - topology: interconnect sensitivity — slowdown, network energy, and
+//     link traffic per topology vs the all-to-all baseline (only when
+//     FigureOptions.Topologies is non-empty)
 //
 // Output is deterministic for fixed options: runs get seeds derived from
 // BaseSeed and grid position, independent of Workers. Any failed run aborts
@@ -242,6 +263,25 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 		return nil, err
 	}
 	figs = append(figs, stAblationFigure(ablation))
+
+	if len(o.Topologies) > 0 {
+		topoGrid, err := runGrid(Sweep{
+			Workloads:  registeredOnly(topologyWorkloads),
+			Schemes:    o.Schemes,
+			Topologies: o.Topologies,
+			Params:     WorkloadParams{Scale: o.Scale},
+			Workers:    o.Workers,
+			Base:       Config{Seed: o.BaseSeed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows, err := TopologySensitivity(topoGrid, TopoAllToAll)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, topologyFigure(rows))
+	}
 	return figs, nil
 }
 
@@ -390,6 +430,24 @@ func stAblationFigure(rows []OccupancyRow) *Figure {
 		f.Rows = append(f.Rows, []string{r.Workload, fmt.Sprint(r.STEntries),
 			fmtF1(r.OpsPerMs), fmtF2(r.SlowdownVsLargest),
 			fmtPct(r.MaxOccupancy), fmtPct(r.MeanOccupancy), fmtPct(r.Overflowed)})
+	}
+	return f
+}
+
+func topologyFigure(rows []TopologyRow) *Figure {
+	f := &Figure{
+		ID: "topology",
+		Title: fmt.Sprintf("Interconnect sensitivity: slowdown, network energy, and link traffic vs %s",
+			TopoAllToAll),
+		Columns: []string{"workload", "scheme", "topology", "diameter", "avg links",
+			"ops/ms", "slowdown", "net energy x", "link bytes x"},
+		Notes: "slowdown/energy/traffic are relative to the alltoall run of the same workload, " +
+			"scheme, and grid point (alltoall = 1.00); multi-hop topologies pay energy per link traversed",
+	}
+	for _, r := range rows {
+		f.Rows = append(f.Rows, []string{r.Workload, string(r.Scheme), string(r.Topology),
+			fmt.Sprint(r.Diameter), fmtF2(r.AvgRouteLinks), fmtF1(r.OpsPerMs),
+			fmtF2(r.SlowdownVsBase), fmtF2(r.NetworkEnergyX), fmtF2(r.LinkBytesX)})
 	}
 	return f
 }

@@ -27,6 +27,10 @@ type Config struct {
 
 	Mem mem.Tech // memory technology (default HBM / 2.5D)
 
+	// Topology selects how NDP units are wired (default full point-to-point,
+	// network.KindAllToAll).
+	Topology network.Kind
+
 	// LinkLatency overrides the fixed inter-unit transfer latency per cache
 	// line; zero keeps the Table-5 default of 40 ns.
 	LinkLatency sim.Time
@@ -53,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SEMHz == 0 {
 		c.SEMHz = 1000
+	}
+	if c.Topology == "" {
+		c.Topology = network.KindAllToAll
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -101,7 +108,7 @@ func NewMachine(cfg Config) *Machine {
 		Engine:     eng,
 		CoreClock:  coreClk,
 		SEClock:    seClk,
-		Net:        network.New(ncfg, cfg.Units),
+		Net:        network.New(ncfg, network.MustBuild(cfg.Topology, cfg.Units)),
 		RNG:        sim.NewRNG(cfg.Seed),
 		cacheCfg:   cache.DefaultConfig(),
 		allocNext:  make([]uint64, cfg.Units),

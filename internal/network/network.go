@@ -4,9 +4,17 @@
 // and narrow serial links between NDP units (12.8 GB/s per direction, 40 ns
 // per cache line, 20-cycle fixed latency, per Table 5).
 //
+// How the units are wired is a Topology (topology.go): AllToAll reproduces
+// the paper's full point-to-point interconnect, while Mesh2D, Ring, and Star
+// open the sensitivity axis the paper varies. Transfer walks the route link
+// by link; every link keeps its own serialization horizon and traffic
+// counter, and messages forwarded through an intermediate unit also cross
+// that unit's crossbar.
+//
 // The package also owns the traffic accounting used for Figures 14 and 15:
 // bits moved inside NDP units vs across them, and the corresponding energy
-// (0.4 pJ/bit/hop intra-unit; 4 pJ/bit on inter-unit links).
+// (0.4 pJ/bit/hop intra-unit; 4 pJ/bit per inter-unit link traversed, so
+// multi-hop topologies pay energy per actual route length).
 package network
 
 import (
@@ -29,7 +37,7 @@ type Config struct {
 	// Inter-unit serial links.
 	LinkLatency     sim.Time // fixed transfer latency per cache line (default 40ns)
 	LinkFixedCycles int64    // additional fixed cycles (default 20)
-	LinkBytesPerSec float64  // per-direction bandwidth (default 12.8 GB/s)
+	LinkBytesPerSec int64    // per-direction bandwidth (default 12.8 GB/s)
 	InterPJPerBit   float64
 }
 
@@ -44,7 +52,7 @@ func DefaultConfig(coreClock sim.Clock) Config {
 		IntraPJPerBitHop: 0.4,
 		LinkLatency:      40 * sim.Nanosecond,
 		LinkFixedCycles:  20,
-		LinkBytesPerSec:  12.8e9,
+		LinkBytesPerSec:  12_800_000_000,
 		InterPJPerBit:    4.0,
 	}
 }
@@ -52,54 +60,125 @@ func DefaultConfig(coreClock sim.Clock) Config {
 // Stats aggregates traffic for energy and data-movement reporting.
 type Stats struct {
 	IntraBits sim.Counter // bits moved inside NDP units (bit-hops / Hops)
-	InterBits sim.Counter // bits moved across NDP units
+	InterBits sim.Counter // bits moved across inter-unit links (per link traversed)
 	IntraMsgs sim.Counter
-	InterMsgs sim.Counter
+	InterMsgs sim.Counter // cross-unit messages (once per transfer)
+	LinkHops  sim.Counter // inter-unit link traversals (route length x messages)
 }
 
-// EnergyPJ returns network energy under cfg.
+// EnergyPJ returns network energy under cfg. Inter-unit energy is per link
+// traversed: InterBits already accumulates once per link on the route, so
+// multi-hop topologies pay proportionally more without any constant here.
 func (s *Stats) EnergyPJ(cfg Config) float64 {
 	intra := float64(s.IntraBits.Value()) * cfg.IntraPJPerBitHop * float64(cfg.Hops)
 	inter := float64(s.InterBits.Value()) * cfg.InterPJPerBit
 	return intra + inter
 }
 
-// Network models the whole system's interconnect: one crossbar per unit and
-// one serial link pair per ordered unit pair (full point-to-point topology,
-// as in Figure 1's interconnection links).
+// AvgRouteLinks reports the mean number of inter-unit links a cross-unit
+// message traversed (exactly 1 on AllToAll; 0 when nothing crossed units).
+func (s *Stats) AvgRouteLinks() float64 {
+	if s.InterMsgs.Value() == 0 {
+		return 0
+	}
+	return float64(s.LinkHops.Value()) / float64(s.InterMsgs.Value())
+}
+
+// Network models the whole system's interconnect: one crossbar per unit plus
+// the serial links of the configured Topology.
 type Network struct {
 	cfg   Config
+	topo  Topology
 	units int
+	nodes int // units plus topology switch nodes (Star hub)
 
-	// crossbar output-port occupancy: [unit][port]; ports are destinations
-	// inside the unit (cores + SE + memory controller), coarsened to a single
-	// shared crossbar budget per destination endpoint id.
-	xbarBusy []map[int]sim.Time
+	// Crossbar output-port occupancy, densely indexed [unit][portIndex];
+	// portIndex remaps the sparse port-id space (cores >= 0, PortSE,
+	// PortMemory, link egress ports) into a contiguous range — see portIndex.
+	// Rows grow on demand as higher core ports appear.
+	xbarBusy [][]sim.Time
 
-	// linkBusy[src][dst] is the per-direction serialization horizon.
-	linkBusy [][]sim.Time
+	// linkBusy[src*nodes+dst] is the per-direction serialization horizon of
+	// the (src, dst) link; linkBits is its lifetime traffic.
+	linkBusy []sim.Time
+	linkBits []uint64
+
+	// routes caches topo.Route for every ordered unit pair (routes are
+	// deterministic), keeping Transfer allocation-free on the hot path.
+	routes [][]Link
 
 	Stats Stats
 }
 
-// New builds the interconnect for n units.
-func New(cfg Config, n int) *Network {
-	x := make([]map[int]sim.Time, n)
-	for i := range x {
-		x[i] = make(map[int]sim.Time)
+// New builds the interconnect for the units of topo.
+func New(cfg Config, topo Topology) *Network {
+	units, nodes := topo.Units(), topo.Nodes()
+	routes := make([][]Link, units*units)
+	for src := 0; src < units; src++ {
+		for dst := 0; dst < units; dst++ {
+			if src != dst {
+				routes[src*units+dst] = topo.Route(src, dst)
+			}
+		}
 	}
-	lb := make([][]sim.Time, n)
-	for i := range lb {
-		lb[i] = make([]sim.Time, n)
+	return &Network{
+		cfg:      cfg,
+		topo:     topo,
+		units:    units,
+		nodes:    nodes,
+		xbarBusy: make([][]sim.Time, units),
+		linkBusy: make([]sim.Time, nodes*nodes),
+		linkBits: make([]uint64, nodes*nodes),
+		routes:   routes,
 	}
-	return &Network{cfg: cfg, units: n, xbarBusy: x, linkBusy: lb}
+}
+
+// NewAllToAll builds the default full point-to-point interconnect for n
+// units — the pre-topology behavior, preserved bit for bit.
+func NewAllToAll(cfg Config, n int) *Network {
+	return New(cfg, MustBuild(KindAllToAll, n))
 }
 
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// Topology returns the interconnect topology.
+func (n *Network) Topology() Topology { return n.topo }
+
 // Units returns the number of NDP units connected.
 func (n *Network) Units() int { return n.units }
+
+// portIndex maps a sparse crossbar port id to a dense slice index:
+// PortSE -> 0, PortMemory -> 1, link egress port towards node u -> 2+u,
+// core c -> 2+nodes+c.
+func (n *Network) portIndex(port int) int {
+	switch {
+	case port >= 0: // core
+		return 2 + n.nodes + port
+	case port >= PortMemory: // PortSE (-1) or PortMemory (-2)
+		return -1 - port
+	default: // link egress port, linkPort(u) = -100-u
+		u := -100 - port
+		if u < 0 || u >= n.nodes {
+			panic(fmt.Sprintf("network: bad port id %d", port))
+		}
+		return 2 + u
+	}
+}
+
+// busySlot returns a pointer to the occupancy horizon of (unit, port),
+// growing the unit's dense row if this core port is the highest seen yet.
+func (n *Network) busySlot(unit, port int) *sim.Time {
+	idx := n.portIndex(port)
+	row := n.xbarBusy[unit]
+	if idx >= len(row) {
+		grown := make([]sim.Time, idx+1)
+		copy(grown, row)
+		n.xbarBusy[unit] = grown
+		row = grown
+	}
+	return &row[idx]
+}
 
 // IntraDelay computes the arrival time of a message of size bytes injected at
 // time t inside unit, destined for local endpoint dstPort (an arbitrary id
@@ -112,49 +191,98 @@ func (n *Network) IntraDelay(t sim.Time, unit, dstPort, bytes int) sim.Time {
 	}
 	ser := cfg.CoreClock.Cycles(flits)
 	start := t
-	if busy := n.xbarBusy[unit][dstPort]; busy > start {
-		start = busy
+	slot := n.busySlot(unit, dstPort)
+	if *slot > start {
+		start = *slot
 	}
-	n.xbarBusy[unit][dstPort] = start + ser
+	*slot = start + ser
 	n.Stats.IntraBits.Add(uint64(bytes * 8))
 	n.Stats.IntraMsgs.Inc()
 	return start + ser + cfg.CoreClock.Cycles(cfg.ArbiterCycles+cfg.HopCycles*cfg.Hops)
 }
 
+// linkSerialization is the time bytes occupy a serial link. It is computed
+// in integer picoseconds (truncating, matching the historical float64 math
+// on the default power-of-two-friendly bandwidth) so results are
+// byte-identical across platforms and compilers.
+func linkSerialization(bytes int, bytesPerSec int64) sim.Time {
+	return sim.Time(int64(bytes) * int64(sim.Second) / bytesPerSec)
+}
+
+// linkDelay computes the arrival time at l.Dst of a message of size bytes
+// entering link l at time t, and accounts the link's traffic.
+func (n *Network) linkDelay(t sim.Time, l Link, bytes int) sim.Time {
+	cfg := n.cfg
+	ser := linkSerialization(bytes, cfg.LinkBytesPerSec)
+	slot := &n.linkBusy[l.Src*n.nodes+l.Dst]
+	start := t
+	if *slot > start {
+		start = *slot
+	}
+	*slot = start + ser
+	n.linkBits[l.Src*n.nodes+l.Dst] += uint64(bytes * 8)
+	n.Stats.InterBits.Add(uint64(bytes * 8))
+	n.Stats.LinkHops.Inc()
+	return start + ser + cfg.LinkLatency + cfg.CoreClock.Cycles(cfg.LinkFixedCycles)
+}
+
 // InterDelay computes the arrival time at unit dst of a message of size bytes
-// sent from unit src at time t. src must differ from dst.
+// sent from unit src at time t over the direct (src, dst) link. src must
+// differ from dst. Most callers want Transfer, which also routes and crosses
+// the endpoint crossbars; InterDelay is the single-link building block.
 func (n *Network) InterDelay(t sim.Time, src, dst, bytes int) sim.Time {
 	if src == dst {
 		panic(fmt.Sprintf("network: InterDelay within unit %d", src))
 	}
-	cfg := n.cfg
-	ser := sim.Time(float64(bytes) / cfg.LinkBytesPerSec * float64(sim.Second))
-	start := t
-	if busy := n.linkBusy[src][dst]; busy > start {
-		start = busy
-	}
-	n.linkBusy[src][dst] = start + ser
-	n.Stats.InterBits.Add(uint64(bytes * 8))
-	n.Stats.InterMsgs.Inc()
-	return start + ser + cfg.LinkLatency + cfg.CoreClock.Cycles(cfg.LinkFixedCycles)
+	return n.linkDelay(t, Link{src, dst}, bytes)
 }
 
 // Transfer computes the arrival time of a message from (srcUnit) to
-// (dstUnit,dstPort): the intra-unit leg(s) plus the inter-unit link when the
-// units differ. This is the common path for all simulated messages.
+// (dstUnit,dstPort): the source crossbar, every link on the topology's
+// route (crossing the crossbar of each intermediate NDP unit; switch nodes
+// like Star's hub contend only on their links), then the destination
+// crossbar. This is the common path for all simulated messages.
 func (n *Network) Transfer(t sim.Time, srcUnit, dstUnit, dstPort, bytes int) sim.Time {
 	if srcUnit == dstUnit {
 		return n.IntraDelay(t, srcUnit, dstPort, bytes)
 	}
-	// source crossbar -> link endpoint
-	out := n.IntraDelay(t, srcUnit, linkPort(dstUnit), bytes)
-	// serial link
-	arr := n.InterDelay(out, srcUnit, dstUnit, bytes)
+	route := n.routes[srcUnit*n.units+dstUnit]
+	n.Stats.InterMsgs.Inc()
+	// source crossbar -> egress towards the first hop
+	cur := n.IntraDelay(t, srcUnit, linkPort(route[0].Dst), bytes)
+	for i, l := range route {
+		if i > 0 && l.Src < n.units {
+			// forwarded through an intermediate unit: cross its crossbar to
+			// the egress port of the next link
+			cur = n.IntraDelay(cur, l.Src, linkPort(l.Dst), bytes)
+		}
+		cur = n.linkDelay(cur, l, bytes)
+	}
 	// destination crossbar -> endpoint
-	return n.IntraDelay(arr, dstUnit, dstPort, bytes)
+	return n.IntraDelay(cur, dstUnit, dstPort, bytes)
 }
 
-// linkPort is the crossbar port id for the egress link towards unit u.
+// LinkLoad describes one directed link's lifetime traffic.
+type LinkLoad struct {
+	Link Link
+	Bits uint64
+}
+
+// LinkLoads returns the traffic of every link that carried at least one bit,
+// ordered by (Src, Dst).
+func (n *Network) LinkLoads() []LinkLoad {
+	var loads []LinkLoad
+	for src := 0; src < n.nodes; src++ {
+		for dst := 0; dst < n.nodes; dst++ {
+			if bits := n.linkBits[src*n.nodes+dst]; bits > 0 {
+				loads = append(loads, LinkLoad{Link{src, dst}, bits})
+			}
+		}
+	}
+	return loads
+}
+
+// linkPort is the crossbar port id for the egress link towards node u.
 func linkPort(u int) int { return -100 - u }
 
 // Well-known destination port ids inside a unit.

@@ -51,6 +51,7 @@ type Engine struct {
 	queue   eventHeap
 	seq     uint64
 	stopped bool
+	dead    int // cancelled events still sitting in the queue
 
 	// Executed counts events run since construction; useful in tests and as a
 	// runaway guard.
@@ -88,12 +89,45 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel marks ev so it will not run. Cancelling an already-run event is a
-// no-op.
+// Cancel marks ev so it will not run. Cancelling an already-run (or
+// already-cancelled) event is a no-op. When dead events pile up past half the
+// queue, the queue is compacted in place, so heavy cancel/reschedule churn
+// cannot grow it unboundedly.
 func (e *Engine) Cancel(ev *Event) {
-	if ev != nil {
-		ev.dead = true
+	if ev == nil || ev.dead {
+		return
 	}
+	ev.dead = true
+	if ev.pos >= 0 { // still queued, not yet popped
+		e.dead++
+		if e.dead > len(e.queue)/2 && len(e.queue) >= minCompactLen {
+			e.compact()
+		}
+	}
+}
+
+// minCompactLen keeps compaction from thrashing on tiny queues.
+const minCompactLen = 64
+
+// compact removes dead events from the queue and restores the heap
+// invariant. Event ordering is unaffected: live events keep their (At, seq)
+// keys.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if !ev.dead {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i, ev := range e.queue {
+		ev.pos = i
+	}
+	heap.Init(&e.queue)
+	e.dead = 0
 }
 
 // Stop makes Run return after the current event completes.
@@ -129,6 +163,7 @@ func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 		}
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.dead {
+			e.dead--
 			continue
 		}
 		e.now = ev.At

@@ -252,3 +252,70 @@ func TestTimeString(t *testing.T) {
 		}
 	}
 }
+
+// Heavy cancel/reschedule churn — the pattern of timeout-style model code —
+// must not grow the event queue unboundedly: dead events are compacted away
+// once they exceed half the queue.
+func TestEngineCancelChurnBoundsQueue(t *testing.T) {
+	e := NewEngine()
+	const live = 10
+	for i := 0; i < live; i++ {
+		e.Schedule(Time(1_000_000+i), func() {})
+	}
+	maxPending := 0
+	for i := 0; i < 100_000; i++ {
+		ev := e.Schedule(Time(i+1), func() { t.Error("cancelled event ran") })
+		e.Cancel(ev)
+		e.Cancel(ev) // double-cancel must not skew the dead count
+		if p := e.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	if maxPending > 4*minCompactLen {
+		t.Fatalf("queue grew to %d events under cancel churn (want <= %d)",
+			maxPending, 4*minCompactLen)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+	if e.Executed != live {
+		t.Fatalf("executed %d events, want the %d live ones", e.Executed, live)
+	}
+}
+
+// Compaction must preserve deterministic (At, seq) execution order across a
+// mix of cancels and survivors.
+func TestEngineCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var cancelled []*Event
+	for i := 0; i < 500; i++ {
+		i := i
+		ev := e.Schedule(Time(1000-i%7), func() { got = append(got, i) })
+		if i%3 != 0 {
+			cancelled = append(cancelled, ev)
+		}
+	}
+	for _, ev := range cancelled {
+		e.Cancel(ev)
+	}
+	e.Run()
+	want := 0
+	for i := 0; i < 500; i++ {
+		if i%3 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("ran %d events, want %d", len(got), want)
+	}
+	// Survivors must run ordered by (At, seq): grouped by 1000-i%7 ascending,
+	// and by schedule order within one timestamp.
+	for k := 1; k < len(got); k++ {
+		ta, tb := Time(1000-got[k-1]%7), Time(1000-got[k]%7)
+		if ta > tb || (ta == tb && got[k-1] > got[k]) {
+			t.Fatalf("events out of order after compaction: %d before %d", got[k-1], got[k])
+		}
+	}
+}

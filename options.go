@@ -34,6 +34,9 @@ func (cfg Config) apply(c *Config) {
 	if cfg.Memory != HBM {
 		c.Memory = cfg.Memory
 	}
+	if cfg.Topology != "" {
+		c.Topology = cfg.Topology
+	}
 	if cfg.LinkLatency != 0 {
 		c.LinkLatency = cfg.LinkLatency
 	}
@@ -65,6 +68,9 @@ func WithCoresPerUnit(n int) Option { return optionFunc(func(c *Config) { c.Core
 
 // WithMemory selects the memory technology (HBM, HMC, DDR4).
 func WithMemory(t MemoryTech) Option { return optionFunc(func(c *Config) { c.Memory = t }) }
+
+// WithTopology selects the inter-unit interconnect topology.
+func WithTopology(t Topology) Option { return optionFunc(func(c *Config) { c.Topology = t }) }
 
 // WithLinkLatency overrides the inter-unit transfer latency per cache line.
 func WithLinkLatency(t Time) Option { return optionFunc(func(c *Config) { c.LinkLatency = t }) }

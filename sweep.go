@@ -42,9 +42,12 @@ type RunResult struct {
 	NetworkEnergyPJ float64 `json:"network_energy_pj"`
 	MemoryEnergyPJ  float64 `json:"memory_energy_pj"`
 
-	// Data movement in bytes.
+	// Data movement in bytes; BytesAcrossUnits counts every inter-unit link
+	// traversed (route length matters on multi-hop topologies).
 	BytesInsideUnits uint64 `json:"bytes_inside_units"`
 	BytesAcrossUnits uint64 `json:"bytes_across_units"`
+	// AvgRouteLinks is the mean inter-unit links per cross-unit message.
+	AvgRouteLinks float64 `json:"avg_route_links,omitempty"`
 
 	// SynCron-specific statistics (zero for other schemes).
 	STOccupancyMax     float64 `json:"st_occupancy_max"`
@@ -101,6 +104,7 @@ func Execute(spec RunSpec) (res RunResult) {
 	res.MemoryEnergyPJ = rep.MemoryEnergyPJ
 	res.BytesInsideUnits = rep.BytesInsideUnits
 	res.BytesAcrossUnits = rep.BytesAcrossUnits
+	res.AvgRouteLinks = rep.AvgRouteLinks
 	res.STOccupancyMax = rep.STOccupancyMax
 	res.STOccupancyMean = rep.STOccupancyMean
 	res.OverflowedFraction = rep.OverflowedFraction
@@ -120,9 +124,10 @@ type Sweep struct {
 	Workloads []string
 	// Schemes to compare (default: SchemeSynCron only).
 	Schemes []Scheme
-	// Units, Memories, LinkLatencies, and STEntries are optional grid axes;
-	// an empty axis uses the Base value.
+	// Units, Topologies, Memories, LinkLatencies, and STEntries are optional
+	// grid axes; an empty axis uses the Base value.
 	Units         []int
+	Topologies    []Topology
 	Memories      []MemoryTech
 	LinkLatencies []Time
 	STEntries     []int
@@ -138,11 +143,15 @@ type Sweep struct {
 }
 
 // Expand enumerates the grid in a fixed order: workload outermost, then
-// scheme, units, memory, link latency, ST entries.
+// scheme, topology, units, memory, link latency, ST entries.
 func (s Sweep) Expand() []RunSpec {
 	schemes := s.Schemes
 	if len(schemes) == 0 {
 		schemes = []Scheme{SchemeSynCron}
+	}
+	topos := s.Topologies
+	if len(topos) == 0 {
+		topos = []Topology{s.Base.Topology}
 	}
 	units := s.Units
 	if len(units) == 0 {
@@ -163,17 +172,20 @@ func (s Sweep) Expand() []RunSpec {
 	var specs []RunSpec
 	for _, w := range s.Workloads {
 		for _, scheme := range schemes {
-			for _, u := range units {
-				for _, m := range mems {
-					for _, l := range links {
-						for _, st := range sts {
-							cfg := s.Base
-							cfg.Scheme = scheme
-							cfg.Units = u
-							cfg.Memory = m
-							cfg.LinkLatency = l
-							cfg.STEntries = st
-							specs = append(specs, RunSpec{Workload: w, Config: cfg, Params: s.Params})
+			for _, topo := range topos {
+				for _, u := range units {
+					for _, m := range mems {
+						for _, l := range links {
+							for _, st := range sts {
+								cfg := s.Base
+								cfg.Scheme = scheme
+								cfg.Topology = topo
+								cfg.Units = u
+								cfg.Memory = m
+								cfg.LinkLatency = l
+								cfg.STEntries = st
+								specs = append(specs, RunSpec{Workload: w, Config: cfg, Params: s.Params})
+							}
 						}
 					}
 				}
@@ -301,23 +313,30 @@ func (rs ResultSet) ByWorkload() map[string]ResultSet {
 	return out
 }
 
-// comparisonKey identifies the grid point a run belongs to with the scheme
-// and the per-run seed stripped, so runs of different schemes on the same
-// workload and configuration land on the same key. This is the join key of
-// JoinBaseline.
-func comparisonKey(r RunResult) string {
+// gridKey identifies the grid point a run belongs to with the per-run seed
+// and any axes zeroed by strip removed, so runs differing only in those axes
+// land on the same key. It is the single join-key builder behind
+// JoinBaseline and TopologySensitivity.
+func gridKey(r RunResult, strip func(*Config)) string {
 	cfg := r.Spec.Config
-	cfg.Scheme = ""
 	cfg.Seed = 0
+	strip(&cfg)
 	key, err := json.Marshal(struct {
 		W string
 		C Config
 		P WorkloadParams
 	}{r.Spec.Workload, cfg, r.Spec.Params})
 	if err != nil {
-		panic(fmt.Sprintf("syncron: marshaling comparison key: %v", err))
+		panic(fmt.Sprintf("syncron: marshaling grid key: %v", err))
 	}
 	return string(key)
+}
+
+// comparisonKey strips the scheme (and seed), so runs of different schemes
+// on the same workload and configuration land on the same key. This is the
+// join key of JoinBaseline.
+func comparisonKey(r RunResult) string {
+	return gridKey(r, func(c *Config) { c.Scheme = "" })
 }
 
 // BaselinePair joins one successful run with the baseline-scheme run of the
@@ -363,11 +382,12 @@ func WriteJSON(w io.Writer, results []RunResult) error {
 }
 
 // csvHeader is the column order of WriteCSV.
-var csvHeader = []string{"workload", "kind", "scheme", "units", "cores_per_unit",
-	"memory", "link_latency_ps", "st_entries", "seed", "makespan_ps", "ops",
-	"ops_per_ms", "mops_per_sec", "cache_energy_pj", "network_energy_pj",
-	"memory_energy_pj", "bytes_inside_units", "bytes_across_units",
-	"st_occupancy_max", "st_occupancy_mean", "overflowed_fraction", "error"}
+var csvHeader = []string{"workload", "kind", "scheme", "topology", "units",
+	"cores_per_unit", "memory", "link_latency_ps", "st_entries", "seed",
+	"makespan_ps", "ops", "ops_per_ms", "mops_per_sec", "cache_energy_pj",
+	"network_energy_pj", "memory_energy_pj", "bytes_inside_units",
+	"bytes_across_units", "avg_route_links", "st_occupancy_max",
+	"st_occupancy_mean", "overflowed_fraction", "error"}
 
 // WriteCSV emits results as one flat CSV row per run.
 func WriteCSV(w io.Writer, results []RunResult) error {
@@ -379,15 +399,15 @@ func WriteCSV(w io.Writer, results []RunResult) error {
 	for _, r := range results {
 		cfg := r.Spec.Config
 		row := []string{
-			r.Spec.Workload, string(r.Kind), string(cfg.Scheme),
+			r.Spec.Workload, string(r.Kind), string(cfg.Scheme), string(cfg.Topology),
 			strconv.Itoa(cfg.Units), strconv.Itoa(cfg.CoresPerUnit),
 			cfg.Memory.String(), strconv.FormatInt(int64(cfg.LinkLatency), 10),
 			strconv.Itoa(cfg.STEntries), strconv.FormatUint(r.Seed, 10),
 			strconv.FormatInt(int64(r.Makespan), 10), strconv.FormatUint(r.Ops, 10),
 			f(r.OpsPerMs), f(r.MopsPerSec), f(r.CacheEnergyPJ), f(r.NetworkEnergyPJ),
 			f(r.MemoryEnergyPJ), strconv.FormatUint(r.BytesInsideUnits, 10),
-			strconv.FormatUint(r.BytesAcrossUnits, 10), f(r.STOccupancyMax),
-			f(r.STOccupancyMean), f(r.OverflowedFraction), r.Err,
+			strconv.FormatUint(r.BytesAcrossUnits, 10), f(r.AvgRouteLinks),
+			f(r.STOccupancyMax), f(r.STOccupancyMean), f(r.OverflowedFraction), r.Err,
 		}
 		if err := cw.Write(row); err != nil {
 			return err

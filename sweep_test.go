@@ -241,3 +241,72 @@ func TestWriteCSVShape(t *testing.T) {
 		t.Fatalf("unexpected CSV row: %v", row)
 	}
 }
+
+// The topology axis expands like every other grid axis and actually changes
+// simulated timing: a 3-topology sweep over one workload yields distinct
+// makespans for multi-hop topologies and identical results for alltoall vs
+// the implicit default.
+func TestSweepTopologyAxis(t *testing.T) {
+	sw := syncron.Sweep{
+		Workloads:  []string{"lock"},
+		Schemes:    []syncron.Scheme{syncron.SchemeSynCron},
+		Topologies: []syncron.Topology{syncron.TopoMesh2D, syncron.TopoRing, syncron.TopoAllToAll},
+		Base:       syncron.Config{Units: 4, CoresPerUnit: 2, Seed: 7},
+		Params:     syncron.WorkloadParams{Rounds: 10},
+		Workers:    1,
+	}
+	specs := sw.Expand()
+	if len(specs) != 3 {
+		t.Fatalf("expanded %d specs, want 3", len(specs))
+	}
+	results := sw.Run()
+	byTopo := map[syncron.Topology]syncron.RunResult{}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("%s/%s failed: %s", r.Spec.Workload, r.Spec.Config.Topology, r.Err)
+		}
+		byTopo[r.Spec.Config.Topology] = r
+	}
+	// The default (empty) topology is alltoall: same seed, same result.
+	def := syncron.Execute(syncron.RunSpec{Workload: "lock",
+		Config: syncron.Config{Scheme: syncron.SchemeSynCron, Units: 4, CoresPerUnit: 2, Seed: 7},
+		Params: syncron.WorkloadParams{Rounds: 10}})
+	if def.Err != "" {
+		t.Fatal(def.Err)
+	}
+	if def.Makespan != byTopo[syncron.TopoAllToAll].Makespan {
+		t.Fatalf("default topology != alltoall: %v vs %v",
+			def.Makespan, byTopo[syncron.TopoAllToAll].Makespan)
+	}
+	if def.Spec.Config.Topology != syncron.TopoAllToAll {
+		t.Fatalf("resolved config topology = %q, want alltoall", def.Spec.Config.Topology)
+	}
+	// Ring on 4 units has diameter 2: some messages take extra hops, so the
+	// ring run cannot beat alltoall and must report a longer mean route.
+	if byTopo[syncron.TopoRing].Makespan < byTopo[syncron.TopoAllToAll].Makespan {
+		t.Fatalf("ring faster than alltoall: %v vs %v",
+			byTopo[syncron.TopoRing].Makespan, byTopo[syncron.TopoAllToAll].Makespan)
+	}
+	if byTopo[syncron.TopoAllToAll].AvgRouteLinks != 1 {
+		t.Fatalf("alltoall avg route links = %f, want 1", byTopo[syncron.TopoAllToAll].AvgRouteLinks)
+	}
+	if byTopo[syncron.TopoRing].AvgRouteLinks <= 1 {
+		t.Fatalf("ring avg route links = %f, want > 1", byTopo[syncron.TopoRing].AvgRouteLinks)
+	}
+	// Energy accounting follows the routes: more link traversals, more
+	// across-unit bytes and network energy.
+	if byTopo[syncron.TopoRing].BytesAcrossUnits <= byTopo[syncron.TopoAllToAll].BytesAcrossUnits {
+		t.Fatalf("ring link bytes %d not above alltoall %d",
+			byTopo[syncron.TopoRing].BytesAcrossUnits, byTopo[syncron.TopoAllToAll].BytesAcrossUnits)
+	}
+}
+
+// An unknown topology is rejected as a per-run error, not a crashed sweep.
+func TestExecuteRejectsUnknownTopology(t *testing.T) {
+	res := syncron.Execute(syncron.RunSpec{Workload: "lock",
+		Config: syncron.Config{Topology: "torus", Units: 2, CoresPerUnit: 2},
+		Params: syncron.WorkloadParams{Rounds: 2}})
+	if res.Err == "" || !strings.Contains(res.Err, "torus") {
+		t.Fatalf("unknown topology not reported: %+v", res.Err)
+	}
+}

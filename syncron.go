@@ -37,10 +37,11 @@
 //     (workload x scheme x config) grids and runs them on a worker pool
 //     with deterministic per-run seeds;
 //   - the analysis layer (SpeedupVsBaseline, Scalability, EnergyBreakdown,
-//     TrafficBreakdown, STAblation, Figures) turns sweep results into the
-//     paper's evaluation views — speedup over a baseline scheme with
-//     geomean aggregation per workload family, scaling curves, energy and
-//     data-movement breakdowns, and ST occupancy/overflow ablations.
+//     TrafficBreakdown, STAblation, TopologySensitivity, Figures) turns
+//     sweep results into the paper's evaluation views — speedup over a
+//     baseline scheme with geomean aggregation per workload family, scaling
+//     curves, energy and data-movement breakdowns, ST occupancy/overflow
+//     ablations, and interconnect-topology sensitivity.
 //
 // The syncron-sim command exposes all three (run, sweep, figures, list);
 // see ARCHITECTURE.md for how an operation flows through the simulator.
@@ -55,6 +56,7 @@ import (
 	"syncron/internal/coherlock"
 	"syncron/internal/core"
 	"syncron/internal/mem"
+	"syncron/internal/network"
 	"syncron/internal/program"
 	"syncron/internal/sim"
 )
@@ -104,6 +106,33 @@ func ParseScheme(name string) (Scheme, error) {
 	}
 	return "", fmt.Errorf("syncron: unknown scheme %q", name)
 }
+
+// Topology selects how NDP units are wired (internal/network's topology
+// kinds). The interconnect is a sensitivity axis of the paper: AllToAll is
+// the evaluated full point-to-point system, the others trade links for
+// contention and hop count.
+type Topology = network.Kind
+
+// Interconnect topologies.
+const (
+	// TopoAllToAll is one dedicated serial link per ordered unit pair — the
+	// paper's Figure-1 interconnect and the default.
+	TopoAllToAll = network.KindAllToAll
+	// TopoMesh2D arranges units on the most-square exact 2D grid with
+	// dimension-ordered routing.
+	TopoMesh2D = network.KindMesh2D
+	// TopoRing connects units in a bidirectional ring (shortest way around).
+	TopoRing = network.KindRing
+	// TopoStar routes every unit pair through one shared off-chip switch.
+	TopoStar = network.KindStar
+)
+
+// Topologies returns every supported topology in documentation order.
+func Topologies() []Topology { return network.Kinds() }
+
+// ParseTopology resolves a topology name (alltoall, mesh, ring, star); the
+// empty string means TopoAllToAll.
+func ParseTopology(name string) (Topology, error) { return network.ParseKind(name) }
 
 // MemoryTech selects the NDP memory technology (Table 5).
 type MemoryTech = mem.Tech
@@ -162,6 +191,8 @@ type Config struct {
 	CoresPerUnit int `json:"cores_per_unit,omitempty"`
 	// Memory selects the memory technology (default HBM).
 	Memory MemoryTech `json:"memory,omitempty"`
+	// Topology selects the inter-unit interconnect (default TopoAllToAll).
+	Topology Topology `json:"topology,omitempty"`
 	// LinkLatency overrides the inter-unit transfer latency per cache line
 	// (default 40ns).
 	LinkLatency Time `json:"link_latency_ps,omitempty"`
@@ -212,6 +243,12 @@ func New(opts ...Option) *System {
 		acfg.CoresPerUnit = cfg.CoresPerUnit
 	}
 	acfg.Mem = cfg.Memory
+	topo, err := ParseTopology(string(cfg.Topology))
+	if err != nil {
+		panic(err) // Execute recovers sweep runs; direct callers get a loud failure
+	}
+	acfg.Topology = topo
+	cfg.Topology = topo
 	acfg.LinkLatency = cfg.LinkLatency
 	if cfg.Seed != 0 {
 		acfg.Seed = cfg.Seed
@@ -254,8 +291,8 @@ func newBackend(cfg Config) arch.Backend {
 }
 
 // Config returns the configuration the system was built from, with Scheme,
-// Units, CoresPerUnit, and Seed resolved to the values the run actually
-// uses. Fields whose zero value means "scheme/component default" (STEntries,
+// Units, CoresPerUnit, Topology, and Seed resolved to the values the run
+// actually uses. Fields whose zero value means "scheme/component default" (STEntries,
 // LinkLatency, SEServiceCycles) are reported as given.
 func (s *System) Config() Config { return s.cfg }
 
@@ -293,8 +330,13 @@ type Report struct {
 	Scheme string
 	// Energy breakdown in picojoules.
 	CacheEnergyPJ, NetworkEnergyPJ, MemoryEnergyPJ float64
-	// Data movement in bytes.
+	// Data movement in bytes. BytesAcrossUnits counts every inter-unit link
+	// traversed, so multi-hop topologies report more link traffic for the
+	// same logical messages.
 	BytesInsideUnits, BytesAcrossUnits uint64
+	// AvgRouteLinks is the mean number of inter-unit links a cross-unit
+	// message traversed (1 on the all-to-all topology, 0 if none crossed).
+	AvgRouteLinks float64
 	// SynCron-specific statistics (zero for other schemes).
 	STOccupancyMax, STOccupancyMean, OverflowedFraction float64
 	// PerCore statistics.
@@ -319,6 +361,7 @@ func (s *System) Run() Report {
 		PerCore:         s.r.Stats(),
 	}
 	rep.BytesInsideUnits, rep.BytesAcrossUnits = s.m.DataMovement()
+	rep.AvgRouteLinks = s.m.Net.Stats.AvgRouteLinks()
 	if bs, ok := s.m.Backend.(arch.BackendStats); ok {
 		rep.STOccupancyMax, rep.STOccupancyMean = bs.STOccupancy()
 		rep.OverflowedFraction = bs.OverflowedFraction()
