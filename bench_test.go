@@ -166,3 +166,26 @@ func benchSweep(b *testing.B, workers int) {
 
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkPerfGrid replays a scaled-down version of the canonical
+// `figures --quick` grids end to end — the macro benchmark the CI perf gate
+// compares across refs (`syncron-bench -perf` is the full-size version that
+// seeds BENCH.json). Workers is pinned to 1 so the measurement is about
+// simulator throughput, not the runner's core count.
+func BenchmarkPerfGrid(b *testing.B) {
+	sweeps := syncron.FigureSweeps(syncron.FigureOptions{Quick: true, Scale: 0.02, Workers: 1})
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events = 0
+		for _, sw := range sweeps {
+			for _, r := range sw.Run() {
+				if r.Err != "" {
+					b.Fatalf("%s under %s failed: %s", r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+				}
+				events += r.Events
+			}
+		}
+	}
+	b.ReportMetric(float64(events), "events/op")
+}

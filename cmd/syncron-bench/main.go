@@ -1,33 +1,55 @@
-// Command syncron-bench regenerates the paper's tables and figures.
+// Command syncron-bench regenerates the paper's tables and figures, and
+// hosts the simulator's macro-benchmark mode.
 //
 // Usage:
 //
 //	syncron-bench -list
 //	syncron-bench -exp fig12 -scale 0.5
 //	syncron-bench -all -scale 0.25
+//	syncron-bench -perf                  # macro-benchmark -> BENCH.json
+//	syncron-bench -perf -perf-reps 5 -perf-out BENCH.json
 //
 // Each experiment prints one or more aligned text tables with the same rows
 // and series as the corresponding paper artifact, plus a note recalling the
 // paper's headline numbers for comparison. Every run underneath is executed
 // through the public syncron workload registry and executor; for ad-hoc
 // grids and machine-readable output use `syncron-sim sweep` instead.
+//
+// A failing experiment (a panic anywhere under Run, recovered here) is
+// reported on stderr with its id and makes the process exit non-zero; under
+// -all the remaining experiments still run.
+//
+// The -perf mode replays the canonical `figures --quick` grids
+// (syncron.FigureSweeps) several times and writes BENCH.json: wall time per
+// repetition, simulated events/sec, allocations per event, and peak heap.
+// The event count must be identical across repetitions — the simulator is
+// deterministic — so BENCH.json doubles as a determinism check. CI's perf
+// gate and the repo's recorded perf trajectory both read this file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync/atomic"
 	"time"
 
+	"syncron"
 	"syncron/internal/exp"
 )
 
 func main() {
 	var (
-		id    = flag.String("exp", "", "experiment id (e.g. fig12, table7); see -list")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		id       = flag.String("exp", "", "experiment id (e.g. fig12, table7); see -list")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		perf     = flag.Bool("perf", false, "run the macro-benchmark (the canonical figures --quick grids) and write a BENCH report")
+		perfOut  = flag.String("perf-out", "BENCH.json", "macro-benchmark report path (use - for stdout)")
+		perfReps = flag.Int("perf-reps", 3, "macro-benchmark repetitions (the best one is the headline)")
+		perfWork = flag.Int("perf-workers", 1, "macro-benchmark worker goroutines; 1 (the default) measures serial simulator throughput, comparable across hosts (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,9 +58,22 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %-10s %s\n", e.ID, e.Paper, e.Brief)
 		}
+	case *perf:
+		if err := runPerf(*perfReps, *perfWork, *perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "syncron-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
+		var failed []string
 		for _, e := range exp.All() {
-			runOne(e, *scale)
+			if err := runOne(e, *scale); err != nil {
+				fmt.Fprintf(os.Stderr, "syncron-bench: %v\n", err)
+				failed = append(failed, e.ID)
+			}
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "syncron-bench: %d experiment(s) failed: %v\n", len(failed), failed)
+			os.Exit(1)
 		}
 	case *id != "":
 		e, ok := exp.Get(*id)
@@ -46,18 +81,170 @@ func main() {
 			fmt.Fprintf(os.Stderr, "syncron-bench: unknown experiment %q (try -list)\n", *id)
 			os.Exit(2)
 		}
-		runOne(e, *scale)
+		if err := runOne(e, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "syncron-bench: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(e *exp.Experiment, scale float64) {
+// runOne executes one experiment, converting a panic anywhere under Run into
+// an error naming the experiment, so a broken experiment cannot take the
+// whole -all sweep down or let the process exit 0.
+func runOne(e *exp.Experiment, scale float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment %s failed: %v", e.ID, p)
+		}
+	}()
 	start := time.Now()
 	tables := e.Run(scale)
 	for _, t := range tables {
 		fmt.Println(t.Format())
 	}
 	fmt.Printf("[%s completed in %v at scale %g]\n\n", e.ID, time.Since(start).Round(time.Millisecond), scale)
+	return nil
+}
+
+// perfReport is the BENCH.json schema. Field order is fixed so reports diff
+// cleanly across commits.
+type perfReport struct {
+	Benchmark string `json:"benchmark"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Workers is the sweep worker count the measurement ran with. The default
+	// is 1 — serial simulator throughput, comparable across hosts; anything
+	// else measures parallel sweep wall time and is only comparable to runs
+	// with the same worker count on the same hardware.
+	Workers int `json:"workers"`
+
+	// Reps is the number of repetitions; SimRuns and Events are per
+	// repetition and identical across them (the simulator is deterministic).
+	Reps    int    `json:"reps"`
+	SimRuns int    `json:"sim_runs_per_rep"`
+	Events  uint64 `json:"events_per_rep"`
+
+	WallMSPerRep []float64 `json:"wall_ms_per_rep"`
+	// BestWallMS and EventsPerSec summarize the fastest repetition — the
+	// least-noise estimate of what the hardware can do.
+	BestWallMS   float64 `json:"best_wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+}
+
+// runPerf is the macro-benchmark: it replays the canonical figures --quick
+// grids reps times and writes a perfReport.
+func runPerf(reps, workers int, out string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sweeps := syncron.FigureSweeps(syncron.FigureOptions{Quick: true, Workers: workers})
+
+	// Peak-heap sampler: polls the live heap while the benchmark runs.
+	var peakHeap atomic.Uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peakHeap.Load() {
+				peakHeap.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	// Stop the sampler on every return path (ReadMemStats is a
+	// stop-the-world pause; the ticker must not outlive the benchmark).
+	defer func() {
+		close(stop)
+		<-sampled
+	}()
+
+	rep := perfReport{
+		Benchmark: "figures-quick",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   workers,
+		Reps:      reps,
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		var events uint64
+		simRuns := 0
+		start := time.Now()
+		for _, sw := range sweeps {
+			for _, r := range sw.Run() {
+				if r.Err != "" {
+					return fmt.Errorf("%s under %s failed: %s", r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+				}
+				events += r.Events
+				simRuns++
+			}
+		}
+		wall := time.Since(start)
+		rep.WallMSPerRep = append(rep.WallMSPerRep, float64(wall.Microseconds())/1e3)
+		if i == 0 {
+			rep.SimRuns = simRuns
+			rep.Events = events
+		} else if events != rep.Events {
+			return fmt.Errorf("non-deterministic run: rep %d executed %d events, rep 1 executed %d",
+				i+1, events, rep.Events)
+		}
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	rep.BestWallMS = rep.WallMSPerRep[0]
+	for _, w := range rep.WallMSPerRep[1:] {
+		if w < rep.BestWallMS {
+			rep.BestWallMS = w
+		}
+	}
+	if rep.BestWallMS > 0 {
+		rep.EventsPerSec = float64(rep.Events) / (rep.BestWallMS / 1e3)
+	}
+	totalEvents := rep.Events * uint64(reps)
+	if totalEvents > 0 {
+		rep.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(totalEvents)
+		rep.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(totalEvents)
+	}
+	rep.PeakHeapBytes = peakHeap.Load()
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d sim runs, %d events/rep, best %.0f ms, %.2fM events/sec, %.2f allocs/event\n",
+		out, rep.SimRuns, rep.Events, rep.BestWallMS, rep.EventsPerSec/1e6, rep.AllocsPerEvent)
+	return nil
 }

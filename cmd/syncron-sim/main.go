@@ -129,7 +129,7 @@ func runCmd(args []string) {
 		metis    = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
 	)
 	cfg, _, topology := configFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	spec := syncron.RunSpec{
 		Workload: *workload,
@@ -195,7 +195,7 @@ func sweepCmd(args []string) {
 		csvOut    = fs.String("csv", "", "also write CSV to this path")
 	)
 	cfg, cores, topology := configFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	names := splitList(*workloads)
 	for _, name := range names {
@@ -281,7 +281,7 @@ func figuresCmd(args []string) {
 		mdOut     = fs.String("md", "-", "Markdown output path (- = stdout)")
 		csvDir    = fs.String("csv-dir", "", "also write one <figure>.csv per figure into this directory")
 	)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	base, err := syncron.ParseScheme(*baseline)
 	if err != nil {

@@ -187,14 +187,9 @@ func (o FigureOptions) withDefaults() FigureOptions {
 // with an error naming it.
 func Figures(opt FigureOptions) ([]*Figure, error) {
 	o := opt.withDefaults()
+	grids := figureGridsFor(o)
 
-	grid, err := runGrid(Sweep{
-		Workloads: o.Workloads,
-		Schemes:   o.Schemes,
-		Params:    WorkloadParams{Scale: o.Scale},
-		Workers:   o.Workers,
-		Base:      Config{Seed: o.BaseSeed},
-	})
+	grid, err := runGrid(grids.main)
 	if err != nil {
 		return nil, err
 	}
@@ -207,21 +202,7 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 		speedupFigure(table),
 	}
 
-	scalUnits := scalabilityUnits
-	if o.Quick {
-		scalUnits = scalabilityUnitsQuick
-	}
-	// Scaling needs enough work per core to amortize remote accesses, so the
-	// scalability grid runs larger inputs than the main grid (like the
-	// paper, whose Figure 13 uses the full-size applications).
-	scalGrid, err := runGrid(Sweep{
-		Workloads: registeredOnly(scalabilityWorkloads),
-		Schemes:   []Scheme{SchemeSynCron},
-		Units:     scalUnits,
-		Params:    WorkloadParams{Scale: o.Scale * 5},
-		Workers:   o.Workers,
-		Base:      Config{Seed: o.BaseSeed},
-	})
+	scalGrid, err := runGrid(grids.scalability)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +210,7 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	figs = append(figs, scalabilityFigure(curves, scalUnits))
+	figs = append(figs, scalabilityFigure(curves, grids.scalUnits))
 
 	energy, err := EnergyBreakdown(grid, o.Baseline)
 	if err != nil {
@@ -243,18 +224,7 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 	}
 	figs = append(figs, trafficFigure(traffic, o.Baseline))
 
-	stSizes := stAblationSizes
-	if o.Quick {
-		stSizes = stAblationSizesQuick
-	}
-	stGrid, err := runGrid(Sweep{
-		Workloads: registeredOnly(stAblationWorkloads),
-		Schemes:   []Scheme{SchemeSynCron},
-		STEntries: stSizes,
-		Params:    WorkloadParams{Scale: o.Scale},
-		Workers:   o.Workers,
-		Base:      Config{Seed: o.BaseSeed},
-	})
+	stGrid, err := runGrid(grids.stAblation)
 	if err != nil {
 		return nil, err
 	}
@@ -264,15 +234,8 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 	}
 	figs = append(figs, stAblationFigure(ablation))
 
-	if len(o.Topologies) > 0 {
-		topoGrid, err := runGrid(Sweep{
-			Workloads:  registeredOnly(topologyWorkloads),
-			Schemes:    o.Schemes,
-			Topologies: o.Topologies,
-			Params:     WorkloadParams{Scale: o.Scale},
-			Workers:    o.Workers,
-			Base:       Config{Seed: o.BaseSeed},
-		})
+	if grids.topology != nil {
+		topoGrid, err := runGrid(*grids.topology)
 		if err != nil {
 			return nil, err
 		}
@@ -283,6 +246,83 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 		figs = append(figs, topologyFigure(rows))
 	}
 	return figs, nil
+}
+
+// FigureSweeps returns the canonical sweeps Figures(opt) runs, in order: the
+// main (workload x scheme) grid, the scalability grid, the ST-ablation grid,
+// and — only when opt.Topologies is non-empty — the topology grid. The
+// macro-benchmark mode (`syncron-bench -perf`) replays exactly these grids,
+// so perf trajectories measure the same work the figures pipeline does.
+func FigureSweeps(opt FigureOptions) []Sweep {
+	g := figureGridsFor(opt.withDefaults())
+	sweeps := []Sweep{g.main, g.scalability, g.stAblation}
+	if g.topology != nil {
+		sweeps = append(sweeps, *g.topology)
+	}
+	return sweeps
+}
+
+// figureGrids names the canonical grids so Figures never has to address them
+// positionally.
+type figureGrids struct {
+	main        Sweep
+	scalability Sweep
+	stAblation  Sweep
+	topology    *Sweep // nil unless FigureOptions.Topologies is non-empty
+
+	// scalUnits is the x-axis of the scalability figure — the same Units list
+	// the scalability sweep runs.
+	scalUnits []int
+}
+
+// figureGridsFor builds the figure grids from already-resolved options.
+func figureGridsFor(o FigureOptions) figureGrids {
+	scalUnits := scalabilityUnits
+	stSizes := stAblationSizes
+	if o.Quick {
+		scalUnits = scalabilityUnitsQuick
+		stSizes = stAblationSizesQuick
+	}
+	g := figureGrids{
+		main: Sweep{
+			Workloads: o.Workloads,
+			Schemes:   o.Schemes,
+			Params:    WorkloadParams{Scale: o.Scale},
+			Workers:   o.Workers,
+			Base:      Config{Seed: o.BaseSeed},
+		},
+		// Scaling needs enough work per core to amortize remote accesses, so
+		// the scalability grid runs larger inputs than the main grid (like the
+		// paper, whose Figure 13 uses the full-size applications).
+		scalability: Sweep{
+			Workloads: registeredOnly(scalabilityWorkloads),
+			Schemes:   []Scheme{SchemeSynCron},
+			Units:     scalUnits,
+			Params:    WorkloadParams{Scale: o.Scale * 5},
+			Workers:   o.Workers,
+			Base:      Config{Seed: o.BaseSeed},
+		},
+		stAblation: Sweep{
+			Workloads: registeredOnly(stAblationWorkloads),
+			Schemes:   []Scheme{SchemeSynCron},
+			STEntries: stSizes,
+			Params:    WorkloadParams{Scale: o.Scale},
+			Workers:   o.Workers,
+			Base:      Config{Seed: o.BaseSeed},
+		},
+		scalUnits: scalUnits,
+	}
+	if len(o.Topologies) > 0 {
+		g.topology = &Sweep{
+			Workloads:  registeredOnly(topologyWorkloads),
+			Schemes:    o.Schemes,
+			Topologies: o.Topologies,
+			Params:     WorkloadParams{Scale: o.Scale},
+			Workers:    o.Workers,
+			Base:       Config{Seed: o.BaseSeed},
+		}
+	}
+	return g
 }
 
 // runGrid executes a sweep and converts any failed run into an error, so

@@ -84,8 +84,9 @@ func (b *Ideal) ExtraCacheEnergyPJ() float64 { return 0 }
 func (b *Ideal) Request(t sim.Time, coreID int, req arch.SyncReq, done func(sim.Time)) {
 	at := func(f func(sim.Time)) {
 		// Defer through the event queue so grants interleave with other
-		// events at the same timestamp deterministically.
-		b.m.Engine.Schedule(t, func() { f(t) })
+		// events at the same timestamp deterministically. The engine invokes f
+		// with t, so no adapter closure is needed.
+		b.m.Engine.Schedule(t, f)
 	}
 	switch req.Op {
 	case arch.OpLockAcquire:
@@ -180,7 +181,7 @@ func (b *Ideal) unlock(t sim.Time, addr uint64) {
 	if len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
-		b.m.Engine.Schedule(t, func() { next(t) })
+		b.m.Engine.Schedule(t, next)
 		return
 	}
 	l.held = false
@@ -190,7 +191,7 @@ func (b *Ideal) relock(t sim.Time, w idealCondWaiter) {
 	l := b.lock(w.lock)
 	if !l.held {
 		l.held = true
-		b.m.Engine.Schedule(t, func() { w.done(t) })
+		b.m.Engine.Schedule(t, w.done)
 		return
 	}
 	l.queue = append(l.queue, w.done)

@@ -1,0 +1,38 @@
+package coherlock_test
+
+import (
+	"testing"
+
+	"syncron/internal/arch"
+	"syncron/internal/coherlock"
+	"syncron/internal/program"
+)
+
+// benchLock drives a contended lock under one coherence-lock algorithm —
+// the heaviest scheduler of cancel-free events among the backends (every
+// release invalidates and reschedules every spinner).
+func benchLock(b *testing.B, alg coherlock.Algorithm) {
+	const cores, rounds = 8, 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		back := coherlock.New(alg)
+		m := arch.NewMachine(arch.Config{Units: 2, CoresPerUnit: 4})
+		m.Backend = back
+		r := program.NewRunner(m)
+		lock := m.Alloc(0, 64)
+		for c := 0; c < cores; c++ {
+			r.AddAt(c, func(ctx *program.Ctx) {
+				for k := 0; k < rounds; k++ {
+					ctx.Lock(lock)
+					ctx.Unlock(lock)
+					ctx.Compute(60)
+				}
+			})
+		}
+		r.Run()
+	}
+}
+
+func BenchmarkLockMESI(b *testing.B) { benchLock(b, coherlock.MESILock) }
+func BenchmarkLockTTAS(b *testing.B) { benchLock(b, coherlock.TTAS) }
+func BenchmarkLockHTL(b *testing.B)  { benchLock(b, coherlock.HTL) }

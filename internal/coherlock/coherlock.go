@@ -120,8 +120,7 @@ func (b *Backend) Request(t sim.Time, core int, req arch.SyncReq, done func(sim.
 			ds := bs.done
 			delete(b.bars, req.Addr)
 			for _, d := range ds {
-				d := d
-				b.m.Engine.Schedule(t, func() { d(t) })
+				b.m.Engine.Schedule(t, d)
 			}
 		}
 	default:
@@ -152,14 +151,14 @@ func (b *Backend) acquire(t sim.Time, core int, addr uint64, done func(sim.Time)
 	case MESILock:
 		// Unconditional RMW.
 		at := b.space.Access(t, core, addr, coherence.RMW)
-		b.m.Engine.Schedule(at, func() { b.tryWin(at, core, addr, done, true) })
+		b.m.Engine.Schedule(at, func(at sim.Time) { b.tryWin(at, core, addr, done, true) })
 	case TTAS:
 		// Read first; RMW follows if it looks free.
 		at := b.space.Access(t, core, addr, coherence.Load)
-		b.m.Engine.Schedule(at, func() {
+		b.m.Engine.Schedule(at, func(at sim.Time) {
 			if !l.held {
 				at2 := b.space.Access(at, core, addr, coherence.RMW)
-				b.m.Engine.Schedule(at2, func() { b.tryWin(at2, core, addr, done, false) })
+				b.m.Engine.Schedule(at2, func(at2 sim.Time) { b.tryWin(at2, core, addr, done, false) })
 				return
 			}
 			l.spinners = append(l.spinners, waiter{core, done})
@@ -170,7 +169,7 @@ func (b *Backend) acquire(t sim.Time, core int, addr uint64, done func(sim.Time)
 		// TTAS when uncontended, but waiters spin on their socket's line.
 		at := b.space.Access(t, core, addr, coherence.RMW) // ticket fetch
 		at = b.space.Access(at, core, b.socketLine(addr, core), coherence.Load)
-		b.m.Engine.Schedule(at, func() { b.tryWin(at, core, addr, done, false) })
+		b.m.Engine.Schedule(at, func(at sim.Time) { b.tryWin(at, core, addr, done, false) })
 	}
 }
 
@@ -193,7 +192,7 @@ func (b *Backend) tryWin(t sim.Time, core int, addr uint64, done func(sim.Time),
 func (b *Backend) release(t sim.Time, core int, addr uint64) {
 	l := b.lock(addr)
 	wt := b.space.Access(t, core, addr, coherence.Store)
-	b.m.Engine.Schedule(wt, func() {
+	b.m.Engine.Schedule(wt, func(wt sim.Time) {
 		l.held = false
 		l.holder = -1
 		if len(l.spinners) == 0 {
@@ -241,6 +240,6 @@ func (b *Backend) release(t sim.Time, core int, addr uint64) {
 		}
 		l.held = true
 		l.holder = win.core
-		b.m.Engine.Schedule(winAt, func() { win.done(winAt) })
+		b.m.Engine.Schedule(winAt, win.done)
 	})
 }

@@ -312,9 +312,9 @@ func (c *Coordinator) OverflowedFraction() float64 {
 func (c *Coordinator) coreToNode(t sim.Time, core int, n *node, addr uint64, then func(sim.Time)) {
 	unit := c.m.UnitOf(core)
 	arr := c.m.Net.Transfer(t, unit, n.unit, n.port(), arch.SyncReqBytes)
-	c.m.Engine.Schedule(arr, func() {
-		fin := n.process(c.m.Engine.Now(), addr)
-		c.m.Engine.Schedule(fin, func() { then(fin) })
+	c.m.Engine.Schedule(arr, func(arr sim.Time) {
+		fin := n.process(arr, addr)
+		c.m.Engine.Schedule(fin, then)
 	})
 }
 
@@ -322,13 +322,13 @@ func (c *Coordinator) coreToNode(t sim.Time, core int, n *node, addr uint64, the
 // nothing extra (the SE continues processing internally).
 func (c *Coordinator) nodeToNode(t sim.Time, from, to *node, addr uint64, then func(sim.Time)) {
 	if from == to {
-		c.m.Engine.Schedule(t, func() { then(t) })
+		c.m.Engine.Schedule(t, then)
 		return
 	}
 	arr := c.m.Net.Transfer(t, from.unit, to.unit, to.port(), arch.SyncReqBytes)
-	c.m.Engine.Schedule(arr, func() {
-		fin := to.process(c.m.Engine.Now(), addr)
-		c.m.Engine.Schedule(fin, func() { then(fin) })
+	c.m.Engine.Schedule(arr, func(arr sim.Time) {
+		fin := to.process(arr, addr)
+		c.m.Engine.Schedule(fin, then)
 	})
 }
 
@@ -337,5 +337,5 @@ func (c *Coordinator) nodeToNode(t sim.Time, from, to *node, addr uint64, then f
 func (c *Coordinator) nodeToCore(t sim.Time, n *node, core int, done func(sim.Time)) {
 	unit := c.m.UnitOf(core)
 	arr := c.m.Net.Transfer(t, n.unit, unit, c.m.LocalOf(core), arch.SyncRespBytes)
-	c.m.Engine.Schedule(arr, func() { done(arr) })
+	c.m.Engine.Schedule(arr, done)
 }

@@ -67,9 +67,9 @@ func (c *Coordinator) fallbackLockAcquire(t sim.Time, core int, addr uint64, don
 	c.overflowReqs++
 	unit := c.fallbackUnit(addr)
 	arr := c.m.Net.Transfer(t, c.m.UnitOf(core), unit, network.PortSE, 18)
-	c.m.Engine.Schedule(arr, func() {
-		fin := c.fallbackService(c.m.Engine.Now(), addr)
-		c.m.Engine.Schedule(fin, func() {
+	c.m.Engine.Schedule(arr, func(arr sim.Time) {
+		fin := c.fallbackService(arr, addr)
+		c.m.Engine.Schedule(fin, func(fin sim.Time) {
 			ms := c.master(addr)
 			ref := holderRef{core: core, done: done}
 			if !ms.lockHeld {
@@ -86,9 +86,9 @@ func (c *Coordinator) fallbackLockAcquire(t sim.Time, core int, addr uint64, don
 func (c *Coordinator) fallbackLockRelease(t sim.Time, core int, addr uint64) {
 	unit := c.fallbackUnit(addr)
 	arr := c.m.Net.Transfer(t, c.m.UnitOf(core), unit, network.PortSE, 18)
-	c.m.Engine.Schedule(arr, func() {
-		fin := c.fallbackService(c.m.Engine.Now(), addr)
-		c.m.Engine.Schedule(fin, func() {
+	c.m.Engine.Schedule(arr, func(arr sim.Time) {
+		fin := c.fallbackService(arr, addr)
+		c.m.Engine.Schedule(fin, func(fin sim.Time) {
 			ms := c.master(addr)
 			ms.lockHeld = false
 			if len(ms.queue) == 0 {
@@ -107,7 +107,7 @@ func (c *Coordinator) fallbackLockRelease(t sim.Time, core int, addr uint64) {
 func (c *Coordinator) fallbackGrant(t sim.Time, addr uint64, ref holderRef) {
 	unit := c.fallbackUnit(addr)
 	arr := c.m.Net.Transfer(t, unit, c.m.UnitOf(ref.core), c.m.LocalOf(ref.core), 19)
-	c.m.Engine.Schedule(arr, func() { ref.done(arr) })
+	c.m.Engine.Schedule(arr, ref.done)
 }
 
 // AbortsSent reports how many overflow abort broadcasts were issued (tests).

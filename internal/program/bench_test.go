@@ -1,0 +1,53 @@
+package program
+
+import (
+	"testing"
+
+	"syncron/internal/arch"
+)
+
+// BenchmarkProgramOps measures the per-operation cost of the program layer's
+// engine handoff (step -> resumeAt -> step), the schedule-in-a-loop hot path
+// every workload runs on. The CI perf gate tracks it alongside the raw engine
+// benchmarks: a regression here that doesn't show in BenchmarkEngine* points
+// at the handoff plumbing, not the event queue.
+func BenchmarkProgramOps(b *testing.B) {
+	const opsPerRun = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := arch.NewMachine(arch.Config{Units: 2, CoresPerUnit: 2})
+		m.Backend = &instantBackend{}
+		r := NewRunner(m)
+		for c := 0; c < m.NumCores(); c++ {
+			r.Add(func(ctx *Ctx) {
+				for k := 0; k < opsPerRun/4; k++ {
+					ctx.Compute(10)
+				}
+			})
+		}
+		r.Run()
+	}
+	b.ReportMetric(float64(opsPerRun), "ops/run")
+}
+
+// BenchmarkProgramSyncOps measures the sync-request round trip through a
+// minimal backend (request, grant callback, zero-delay resume).
+func BenchmarkProgramSyncOps(b *testing.B) {
+	const roundsPerCore = 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := arch.NewMachine(arch.Config{Units: 2, CoresPerUnit: 2})
+		m.Backend = &instantBackend{}
+		r := NewRunner(m)
+		lock := m.Alloc(0, 64)
+		for c := 0; c < m.NumCores(); c++ {
+			r.Add(func(ctx *Ctx) {
+				for k := 0; k < roundsPerCore; k++ {
+					ctx.Lock(lock)
+					ctx.Unlock(lock)
+				}
+			})
+		}
+		r.Run()
+	}
+}

@@ -58,6 +58,11 @@ type proc struct {
 	done     bool
 	finishAt sim.Time
 
+	// stepFn and resumeFn are bound once at launch so the per-operation hot
+	// path schedules without allocating a fresh closure per event.
+	stepFn   func(sim.Time)
+	resumeFn func(sim.Time)
+
 	// statistics
 	Instrs   uint64
 	Reads    uint64
@@ -140,6 +145,11 @@ func (r *Runner) Run() sim.Time {
 		}
 		p := &proc{id: i, opCh: make(chan op), resCh: make(chan sim.Time),
 			startCh: make(chan struct{})}
+		p.stepFn = func(sim.Time) { r.step(p) }
+		p.resumeFn = func(at sim.Time) {
+			p.resCh <- at
+			r.step(p)
+		}
 		r.procs = append(r.procs, p)
 		ctx := &Ctx{ID: i, Unit: r.M.UnitOf(i), RNG: r.M.RNG.Fork(), r: r, p: p}
 		go func(pg Program, ctx *Ctx) {
@@ -164,8 +174,7 @@ func (r *Runner) Run() sim.Time {
 		}(pg, ctx)
 	}
 	for _, p := range r.procs {
-		p := p
-		eng.Schedule(0, func() { r.step(p) })
+		eng.Schedule(0, p.stepFn)
 	}
 	eng.Run()
 	r.panicMu.Lock()
@@ -227,12 +236,11 @@ func (r *Runner) step(p *proc) {
 }
 
 // resumeAt hands control back to the program at time t and then fetches its
-// next operation.
+// next operation. The scheduled callback is the proc's prebound resumeFn (it
+// receives t from the engine), so the per-operation hot path allocates no
+// closures.
 func (r *Runner) resumeAt(p *proc, t sim.Time) {
-	r.M.Engine.Schedule(t, func() {
-		p.resCh <- t
-		r.step(p)
-	})
+	r.M.Engine.Schedule(t, p.resumeFn)
 }
 
 // violation reports a checker failure.

@@ -23,7 +23,7 @@ func (b *instantBackend) Attach(m *arch.Machine) {
 }
 func (b *instantBackend) ExtraCacheEnergyPJ() float64 { return 0 }
 func (b *instantBackend) Request(t sim.Time, core int, req arch.SyncReq, done func(sim.Time)) {
-	at := func(f func(sim.Time)) { b.m.Engine.Schedule(t, func() { f(t) }) }
+	at := func(f func(sim.Time)) { b.m.Engine.Schedule(t, f) }
 	switch req.Op {
 	case arch.OpLockAcquire:
 		if !b.held[req.Addr] {
@@ -54,7 +54,7 @@ func (b *brokenBackend) Name() string                { return "broken" }
 func (b *brokenBackend) Attach(m *arch.Machine)      { b.m = m }
 func (b *brokenBackend) ExtraCacheEnergyPJ() float64 { return 0 }
 func (b *brokenBackend) Request(t sim.Time, core int, req arch.SyncReq, done func(sim.Time)) {
-	b.m.Engine.Schedule(t, func() { done(t) })
+	b.m.Engine.Schedule(t, done)
 }
 
 func newM() *arch.Machine {

@@ -31,11 +31,11 @@ func TestClockConversions(t *testing.T) {
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine()
 	var order []int
-	e.Schedule(30, func() { order = append(order, 3) })
-	e.Schedule(10, func() { order = append(order, 1) })
-	e.Schedule(20, func() { order = append(order, 2) })
+	e.Schedule(30, func(Time) { order = append(order, 3) })
+	e.Schedule(10, func(Time) { order = append(order, 1) })
+	e.Schedule(20, func(Time) { order = append(order, 2) })
 	// Same-timestamp events run in scheduling order.
-	e.Schedule(20, func() { order = append(order, 4) })
+	e.Schedule(20, func(Time) { order = append(order, 4) })
 	e.Run()
 	want := []int{1, 2, 4, 3}
 	for i := range want {
@@ -48,8 +48,8 @@ func TestEngineOrdering(t *testing.T) {
 func TestEngineNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	hits := 0
-	e.Schedule(5, func() {
-		e.After(5, func() {
+	e.Schedule(5, func(Time) {
+		e.After(5, func(Time) {
 			hits++
 			if e.Now() != 10 {
 				t.Errorf("nested event at %v, want 10", e.Now())
@@ -64,13 +64,13 @@ func TestEngineNestedScheduling(t *testing.T) {
 
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	e := NewEngine()
-	e.Schedule(10, func() {
+	e.Schedule(10, func(Time) {
 		defer func() {
 			if recover() == nil {
 				t.Error("scheduling in the past must panic")
 			}
 		}()
-		e.Schedule(5, func() {})
+		e.Schedule(5, func(Time) {})
 	})
 	e.Run()
 }
@@ -78,7 +78,7 @@ func TestEnginePastSchedulingPanics(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	ev := e.Schedule(10, func() { ran = true })
+	ev := e.Schedule(10, func(Time) { ran = true })
 	e.Cancel(ev)
 	e.Run()
 	if ran {
@@ -91,7 +91,7 @@ func TestEngineStopAndRunUntil(t *testing.T) {
 	count := 0
 	for i := 1; i <= 10; i++ {
 		i := i
-		e.Schedule(Time(i*10), func() {
+		e.Schedule(Time(i*10), func(Time) {
 			count++
 			if i == 5 {
 				e.Stop()
@@ -113,8 +113,8 @@ func TestEngineStopAndRunUntil(t *testing.T) {
 // could spin a deadline-driven run forever without tripping the guard.
 func TestMaxEventsGuard(t *testing.T) {
 	runaway := func(e *Engine) {
-		var loop func()
-		loop = func() { e.After(1, loop) }
+		var loop func(Time)
+		loop = func(Time) { e.After(1, loop) }
 		e.After(1, loop)
 	}
 	t.Run("Run", func(t *testing.T) {
@@ -152,8 +152,8 @@ func TestMaxEventsGuard(t *testing.T) {
 func TestRunUntilAdvancesToDeadline(t *testing.T) {
 	e := NewEngine()
 	ran := 0
-	e.Schedule(10, func() { ran++ })
-	e.Schedule(200, func() { ran++ })
+	e.Schedule(10, func(Time) { ran++ })
+	e.Schedule(200, func(Time) { ran++ })
 	if got := e.RunUntil(100); got != 100 {
 		t.Fatalf("RunUntil(100) = %v, want 100", got)
 	}
@@ -260,11 +260,11 @@ func TestEngineCancelChurnBoundsQueue(t *testing.T) {
 	e := NewEngine()
 	const live = 10
 	for i := 0; i < live; i++ {
-		e.Schedule(Time(1_000_000+i), func() {})
+		e.Schedule(Time(1_000_000+i), func(Time) {})
 	}
 	maxPending := 0
 	for i := 0; i < 100_000; i++ {
-		ev := e.Schedule(Time(i+1), func() { t.Error("cancelled event ran") })
+		ev := e.Schedule(Time(i+1), func(Time) { t.Error("cancelled event ran") })
 		e.Cancel(ev)
 		e.Cancel(ev) // double-cancel must not skew the dead count
 		if p := e.Pending(); p > maxPending {
@@ -289,10 +289,10 @@ func TestEngineCancelChurnBoundsQueue(t *testing.T) {
 func TestEngineCompactionPreservesOrder(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var cancelled []*Event
+	var cancelled []Handle
 	for i := 0; i < 500; i++ {
 		i := i
-		ev := e.Schedule(Time(1000-i%7), func() { got = append(got, i) })
+		ev := e.Schedule(Time(1000-i%7), func(Time) { got = append(got, i) })
 		if i%3 != 0 {
 			cancelled = append(cancelled, ev)
 		}

@@ -54,6 +54,10 @@ type RunResult struct {
 	STOccupancyMean    float64 `json:"st_occupancy_mean"`
 	OverflowedFraction float64 `json:"overflowed_fraction"`
 
+	// Events is the number of discrete-event engine events the run executed —
+	// the throughput numerator of events/sec macro-benchmarks.
+	Events uint64 `json:"events,omitempty"`
+
 	// Err is non-empty when the run failed (unknown workload, failed
 	// functional check, or a simulator panic).
 	Err string `json:"error,omitempty"`
@@ -108,6 +112,7 @@ func Execute(spec RunSpec) (res RunResult) {
 	res.STOccupancyMax = rep.STOccupancyMax
 	res.STOccupancyMean = rep.STOccupancyMean
 	res.OverflowedFraction = rep.OverflowedFraction
+	res.Events = rep.Events
 	if prep.Check != nil {
 		if err := prep.Check(); err != nil {
 			res.Err = fmt.Sprintf("functional check failed: %v", err)

@@ -339,6 +339,10 @@ type Report struct {
 	AvgRouteLinks float64
 	// SynCron-specific statistics (zero for other schemes).
 	STOccupancyMax, STOccupancyMean, OverflowedFraction float64
+	// Events is the number of discrete-event engine events executed by the
+	// run — the simulator-throughput numerator of events/sec macro-benchmarks
+	// (syncron-bench -perf).
+	Events uint64
 	// PerCore statistics.
 	PerCore []program.Stats
 }
@@ -358,6 +362,7 @@ func (s *System) Run() Report {
 		CacheEnergyPJ:   e.CachePJ,
 		NetworkEnergyPJ: e.NetworkPJ,
 		MemoryEnergyPJ:  e.MemoryPJ,
+		Events:          s.m.Engine.Executed,
 		PerCore:         s.r.Stats(),
 	}
 	rep.BytesInsideUnits, rep.BytesAcrossUnits = s.m.DataMovement()
