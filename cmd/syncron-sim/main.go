@@ -16,18 +16,31 @@
 //	syncron-sim sweep -workloads ts.air -schemes syncron -st-list 16,32,64 -csv out.csv
 //	syncron-sim sweep -workloads lock,stack -topology mesh,ring,alltoall -csv topo.csv
 //
+// Sweeps at scale — content-addressed result caching and deterministic
+// N-way sharding (shards are disjoint, exhaustive, and seed-identical to
+// the unsharded grid; merge reassembles byte-identical output):
+//
+//	syncron-sim sweep -grid figures -shard 0/4 -cache .gridcache -json shard-0.json
+//	syncron-sim sweep -grid figures -shard 1/4 -cache .gridcache -json shard-1.json
+//	...
+//	syncron-sim merge -json merged.json -csv merged.csv -cache merged-cache shard-*.json
+//	syncron-sim figures -from merged-cache -md figures.md   # zero simulation
+//
 // Paper figures (Markdown tables, optionally one CSV per figure):
 //
 //	syncron-sim figures --quick
 //	syncron-sim figures -baseline central -md figures.md -csv-dir out/
 //	syncron-sim figures --quick -topologies alltoall,mesh,ring,star
+//	syncron-sim figures --quick -cache .gridcache   # second run simulates nothing
 //
 // Discovery:
 //
 //	syncron-sim list
+//	syncron-sim cache-version
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -52,10 +65,16 @@ func main() {
 		sweepCmd(args)
 	case "figures":
 		figuresCmd(args)
+	case "merge":
+		mergeCmd(args)
 	case "list":
 		listCmd()
+	case "cache-version":
+		// The spec-hash version, for cache invalidation keys (CI keys its
+		// actions/cache entries on it; see SpecKeyVersion).
+		fmt.Printf("v%d\n", syncron.SpecKeyVersion)
 	default:
-		fatal("unknown subcommand %q (want run, sweep, figures, or list)", cmd)
+		fatal("unknown subcommand %q (want run, sweep, figures, merge, list, or cache-version)", cmd)
 	}
 }
 
@@ -178,6 +197,78 @@ func report(res syncron.RunResult) {
 	}
 }
 
+// parseShard resolves a -shard "i/n" value; the empty string means no
+// sharding.
+func parseShard(s string) syncron.Shard {
+	if s == "" {
+		return syncron.Shard{}
+	}
+	idx, count, found := strings.Cut(s, "/")
+	if !found {
+		fatal("bad -shard value %q (want i/n, e.g. 0/4)", s)
+	}
+	sh := syncron.Shard{Index: parseInt(idx, "shard"), Count: parseInt(count, "shard")}
+	if sh.Count <= 0 || sh.Index < 0 || sh.Index >= sh.Count {
+		fatal("bad -shard value %q (want 0 <= i < n)", s)
+	}
+	return sh
+}
+
+// openCache opens a -cache directory, or returns nil for the empty path.
+func openCache(dir string) *syncron.CacheDir {
+	if dir == "" {
+		return nil
+	}
+	cache, err := syncron.DirCache(dir)
+	if err != nil {
+		fatal("opening cache %s: %v", dir, err)
+	}
+	return cache
+}
+
+// reportCacheStats summarizes cache traffic on stderr after a sweep.
+func reportCacheStats(cache *syncron.CacheDir) {
+	if cache == nil {
+		return
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "syncron-sim: cache %s: %d hits, %d misses, %d writes\n",
+		cache.Path(), st.Hits, st.Misses, st.Puts)
+}
+
+// figureGridSpecs expands the canonical figures grids (the exact runs
+// `syncron-sim figures` performs) into one seed-resolved spec list, so sweeps
+// can shard and cache the figures workload.
+func figureGridSpecs(quick bool) []syncron.RunSpec {
+	var specs []syncron.RunSpec
+	for _, sw := range syncron.FigureSweeps(syncron.FigureOptions{Quick: quick}) {
+		specs = append(specs, syncron.ResolveSeeds(sw.Expand(), sw.BaseSeed)...)
+	}
+	return specs
+}
+
+// gridCompatibleFlags are the sweep flags that still apply under -grid; every
+// other explicitly set flag would be silently ignored (the canonical figure
+// grids fix workloads, schemes, axes, seeds, and the machine config), so
+// rejectFlagsWithGrid fails loudly instead.
+var gridCompatibleFlags = map[string]bool{
+	"grid": true, "shard": true, "cache": true, "cache-only": true,
+	"fail-fast": true, "workers": true, "json": true, "csv": true,
+}
+
+func rejectFlagsWithGrid(fs *flag.FlagSet) {
+	var conflicting []string
+	fs.Visit(func(f *flag.Flag) {
+		if !gridCompatibleFlags[f.Name] {
+			conflicting = append(conflicting, "-"+f.Name)
+		}
+	})
+	if len(conflicting) > 0 {
+		fatal("-grid runs a canonical grid with fixed workloads, axes, seeds, and machine config; it ignores %s (drop them, or drop -grid)",
+			strings.Join(conflicting, ", "))
+	}
+}
+
 func sweepCmd(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	var (
@@ -193,54 +284,92 @@ func sweepCmd(args []string) {
 		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
 		jsonOut   = fs.String("json", "-", "JSON output path (- = stdout)")
 		csvOut    = fs.String("csv", "", "also write CSV to this path")
+		grid      = fs.String("grid", "", "run a canonical grid instead of the axis flags: figures | figures-quick (ignores -workloads/-schemes/axes)")
+		shard     = fs.String("shard", "", "run one deterministic slice i/n of the grid (e.g. 0/4); shards are disjoint, exhaustive, and merge byte-identically")
+		cacheDir  = fs.String("cache", "", "content-addressed result cache directory: cached runs skip simulation, new results are stored")
+		cacheOnly = fs.Bool("cache-only", false, "forbid simulation; runs missing from -cache fail")
+		failFast  = fs.Bool("fail-fast", false, "cancel unstarted runs as soon as any run fails")
 	)
 	cfg, cores, topology := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
-	names := splitList(*workloads)
-	for _, name := range names {
-		if _, ok := syncron.LookupWorkload(name); !ok {
-			fatal("unknown workload %q (try `syncron-sim list`)", name)
-		}
+	runner := syncron.SpecRunner{
+		Workers:   *workers,
+		BaseSeed:  *baseSeed,
+		CacheOnly: *cacheOnly,
+		FailFast:  *failFast,
+		Shard:     parseShard(*shard),
 	}
-	sw := syncron.Sweep{
-		Workloads:  names,
-		Topologies: parseTopologyList(*topology),
-		Base:       cfg(),
-		Params: syncron.WorkloadParams{Scale: *scale, OpsPerCore: *ops,
-			Interval: *interval, Metis: *metis},
-		Workers:  *workers,
-		BaseSeed: *baseSeed,
+	cache := openCache(*cacheDir)
+	if cache != nil {
+		runner.Cache = cache
 	}
-	for _, name := range splitList(*schemes) {
-		sch, err := syncron.ParseScheme(name)
-		if err != nil {
-			fatal("%v", err)
-		}
-		sw.Schemes = append(sw.Schemes, sch)
-	}
-	for _, s := range splitList(*unitsList) {
-		u := parseInt(s, "units-list")
-		if u <= 0 {
-			fatal("-units-list values must be positive (got %d)", u)
-		}
-		sw.Units = append(sw.Units, u)
-	}
-	for _, s := range splitList(*stList) {
-		sw.STEntries = append(sw.STEntries, parseInt(s, "st-list"))
+	if *cacheOnly && cache == nil {
+		fatal("-cache-only requires -cache DIR")
 	}
 
-	specs := sw.Expand()
-	// -cores fixes the TOTAL client core count, so per-unit cores must track
-	// the -units-list axis rather than the base -units value.
-	if *cores != 0 {
-		for i := range specs {
-			specs[i].Config.CoresPerUnit = *cores / specs[i].Config.Units
+	var specs []syncron.RunSpec
+	var gridName string
+	switch *grid {
+	case "figures", "figures-quick":
+		// The canonical grids fix every axis, seed, and machine parameter so
+		// shard legs and `figures -from` agree on the spec hashes; a grid-mode
+		// sweep that also names axis or config flags would silently drop them.
+		rejectFlagsWithGrid(fs)
+		specs = figureGridSpecs(*grid == "figures-quick")
+		gridName = *grid
+	case "":
+		names := splitList(*workloads)
+		for _, name := range names {
+			if _, ok := syncron.LookupWorkload(name); !ok {
+				fatal("unknown workload %q (try `syncron-sim list`)", name)
+			}
 		}
+		sw := syncron.Sweep{
+			Workloads:  names,
+			Topologies: parseTopologyList(*topology),
+			Base:       cfg(),
+			Params: syncron.WorkloadParams{Scale: *scale, OpsPerCore: *ops,
+				Interval: *interval, Metis: *metis},
+		}
+		for _, name := range splitList(*schemes) {
+			sch, err := syncron.ParseScheme(name)
+			if err != nil {
+				fatal("%v", err)
+			}
+			sw.Schemes = append(sw.Schemes, sch)
+		}
+		for _, s := range splitList(*unitsList) {
+			u := parseInt(s, "units-list")
+			if u <= 0 {
+				fatal("-units-list values must be positive (got %d)", u)
+			}
+			sw.Units = append(sw.Units, u)
+		}
+		for _, s := range splitList(*stList) {
+			sw.STEntries = append(sw.STEntries, parseInt(s, "st-list"))
+		}
+		specs = sw.Expand()
+		// -cores fixes the TOTAL client core count, so per-unit cores must track
+		// the -units-list axis rather than the base -units value.
+		if *cores != 0 {
+			for i := range specs {
+				specs[i].Config.CoresPerUnit = *cores / specs[i].Config.Units
+			}
+		}
+		gridName = fmt.Sprintf("%d workloads x %d schemes", len(sw.Workloads), len(sw.Schemes))
+	default:
+		fatal("unknown -grid %q (want figures or figures-quick)", *grid)
 	}
-	fmt.Fprintf(os.Stderr, "syncron-sim: sweeping %d runs on %d workloads x %d schemes\n",
-		len(specs), len(sw.Workloads), len(sw.Schemes))
-	results := syncron.RunSpecs(specs, sw.Workers, sw.BaseSeed)
+
+	if runner.Shard.Count > 1 {
+		fmt.Fprintf(os.Stderr, "syncron-sim: sweeping shard %d/%d of %d runs (%s)\n",
+			runner.Shard.Index, runner.Shard.Count, len(specs), gridName)
+	} else {
+		fmt.Fprintf(os.Stderr, "syncron-sim: sweeping %d runs (%s)\n", len(specs), gridName)
+	}
+	results := runner.Run(specs)
+	reportCacheStats(cache)
 
 	failed := 0
 	for _, r := range results {
@@ -280,6 +409,8 @@ func figuresCmd(args []string) {
 		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
 		mdOut     = fs.String("md", "-", "Markdown output path (- = stdout)")
 		csvDir    = fs.String("csv-dir", "", "also write one <figure>.csv per figure into this directory")
+		cacheDir  = fs.String("cache", "", "content-addressed result cache directory: cached runs skip simulation, new results are stored")
+		fromDir   = fs.String("from", "", "render purely from this cache directory; any missing run is an error (zero simulation)")
 	)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
@@ -287,6 +418,13 @@ func figuresCmd(args []string) {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if *fromDir != "" && *cacheDir != "" && *fromDir != *cacheDir {
+		fatal("-from and -cache name different directories; use one of them")
+	}
+	if *fromDir != "" {
+		*cacheDir = *fromDir
+	}
+	cache := openCache(*cacheDir)
 	opt := syncron.FigureOptions{
 		Quick:      *quick,
 		Baseline:   base,
@@ -294,6 +432,10 @@ func figuresCmd(args []string) {
 		Workers:    *workers,
 		BaseSeed:   *baseSeed,
 		Topologies: parseTopologyList(*topos),
+		CacheOnly:  *fromDir != "",
+	}
+	if cache != nil {
+		opt.Cache = cache
 	}
 	for _, name := range splitList(*schemes) {
 		sch, err := syncron.ParseScheme(name)
@@ -313,6 +455,7 @@ func figuresCmd(args []string) {
 	if err != nil {
 		fatal("%v", err)
 	}
+	reportCacheStats(cache)
 
 	out := os.Stdout
 	if *mdOut != "-" {
@@ -352,6 +495,67 @@ func figuresCmd(args []string) {
 				fatal("closing %s: %v", path, err)
 			}
 		}
+	}
+}
+
+// mergeCmd reassembles shard JSON outputs (written by `sweep -shard i/n`)
+// into the byte-identical JSON/CSV an unsharded run of the same grid emits,
+// and optionally replays the merged results into a cache directory so
+// `figures -from DIR` can render without simulating. Missing, overlapping,
+// or repeated shard files are detected and rejected.
+func mergeCmd(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	var (
+		jsonOut  = fs.String("json", "-", "merged JSON output path (- = stdout)")
+		csvOut   = fs.String("csv", "", "also write merged CSV to this path")
+		cacheDir = fs.String("cache", "", "also store every merged result into this cache directory, keyed by SpecKey")
+	)
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
+	if fs.NArg() == 0 {
+		fatal("merge needs at least one shard JSON file (from `sweep -shard i/n -json ...`)")
+	}
+
+	var shards [][]syncron.RunResult
+	for _, path := range fs.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var results []syncron.RunResult
+		if err := json.Unmarshal(raw, &results); err != nil {
+			fatal("parsing %s: %v", path, err)
+		}
+		shards = append(shards, results)
+	}
+	merged, err := syncron.MergeShards(shards...)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "syncron-sim: merged %d results from %d shard file(s)\n",
+		len(merged), len(shards))
+
+	if *cacheDir != "" {
+		cache := openCache(*cacheDir)
+		for _, res := range merged {
+			if res.Err != "" {
+				continue // failures are never cached
+			}
+			if err := syncron.CacheResult(cache, res); err != nil {
+				fatal("caching result %d: %v", res.GridIndex, err)
+			}
+		}
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "syncron-sim: cache %s: %d results stored\n", cache.Path(), st.Puts)
+	}
+	if *jsonOut == "-" {
+		if err := syncron.WriteJSON(os.Stdout, merged); err != nil {
+			fatal("writing JSON: %v", err)
+		}
+	} else {
+		writeFile(*jsonOut, merged, syncron.WriteJSON)
+	}
+	if *csvOut != "" {
+		writeFile(*csvOut, merged, syncron.WriteCSV)
 	}
 }
 

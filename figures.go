@@ -89,6 +89,14 @@ type FigureOptions struct {
 	// Workers bounds simultaneous runs (default GOMAXPROCS). It affects
 	// wall-clock time only, never results.
 	Workers int
+	// Cache, when non-nil, is consulted before every figure run and fed every
+	// newly simulated result (see DirCache): a replay whose grids are fully
+	// cached performs zero simulation and still emits byte-identical figures.
+	Cache ResultCache
+	// CacheOnly forbids simulation: any figure run missing from Cache aborts
+	// rendering with an error naming it. This is `figures -from DIR` — e.g.
+	// rendering from cache entries merged out of CI shard artifacts.
+	CacheOnly bool
 	// BaseSeed is the single simulation seed shared by EVERY figure run
 	// (default 1). Sharing one seed — rather than deriving per-run seeds à
 	// la RunSpecs — guarantees all schemes and ST sizes simulate the
@@ -290,6 +298,8 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Params:    WorkloadParams{Scale: o.Scale},
 			Workers:   o.Workers,
 			Base:      Config{Seed: o.BaseSeed},
+			Cache:     o.Cache,
+			CacheOnly: o.CacheOnly,
 		},
 		// Scaling needs enough work per core to amortize remote accesses, so
 		// the scalability grid runs larger inputs than the main grid (like the
@@ -301,6 +311,8 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Params:    WorkloadParams{Scale: o.Scale * 5},
 			Workers:   o.Workers,
 			Base:      Config{Seed: o.BaseSeed},
+			Cache:     o.Cache,
+			CacheOnly: o.CacheOnly,
 		},
 		stAblation: Sweep{
 			Workloads: registeredOnly(stAblationWorkloads),
@@ -309,6 +321,8 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Params:    WorkloadParams{Scale: o.Scale},
 			Workers:   o.Workers,
 			Base:      Config{Seed: o.BaseSeed},
+			Cache:     o.Cache,
+			CacheOnly: o.CacheOnly,
 		},
 		scalUnits: scalUnits,
 	}
@@ -320,6 +334,8 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Params:     WorkloadParams{Scale: o.Scale},
 			Workers:    o.Workers,
 			Base:       Config{Seed: o.BaseSeed},
+			Cache:      o.Cache,
+			CacheOnly:  o.CacheOnly,
 		}
 	}
 	return g

@@ -1,0 +1,157 @@
+// Package runcache is a content-addressed filesystem cache for sweep run
+// results. It stores opaque payloads under caller-supplied keys — one JSON
+// envelope file per key — and promises only integrity, never freshness:
+//
+//   - writes are atomic (temp file + rename), so a crashed or concurrent
+//     writer can never leave a torn entry behind;
+//   - reads validate the envelope; a corrupt file, an entry recorded under a
+//     different key, or a key from another encoding version simply misses;
+//   - keys are versioned by their prefix (e.g. "v1-<hash>"), so bumping the
+//     key version orphans old entries instead of returning stale payloads.
+//
+// The package is deliberately ignorant of what a payload means — the syncron
+// package defines the canonical spec encoding, the key derivation, and the
+// RunResult payload format (see syncron.SpecKey and syncron.DirCache) — so it
+// cannot import the root package and stays reusable for other batch layers.
+package runcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats counts cache traffic. Misses include corrupt and mismatched entries;
+// Errors counts failed writes (a failed Put only costs a future miss).
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	Errors uint64 `json:"errors"`
+}
+
+// Dir is a filesystem-backed cache: one <key>.json envelope per entry, all in
+// a single flat directory. All methods are safe for concurrent use.
+type Dir struct {
+	path string
+
+	hits, misses, puts, errors atomic.Uint64
+}
+
+// entry is the on-disk envelope. Recording the key inside the file lets Get
+// reject entries that were renamed, truncated, or hash-collided into place.
+type entry struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the cache directory.
+func (d *Dir) Path() string { return d.path }
+
+// Stats returns a snapshot of the traffic counters.
+func (d *Dir) Stats() Stats {
+	return Stats{
+		Hits:   d.hits.Load(),
+		Misses: d.misses.Load(),
+		Puts:   d.puts.Load(),
+		Errors: d.errors.Load(),
+	}
+}
+
+// validKey rejects keys that could escape the cache directory or collide
+// with temp files. Canonical keys ("v1-" + hex digest) always pass.
+func validKey(key string) bool {
+	if key == "" || strings.HasPrefix(key, ".") {
+		return false
+	}
+	return !strings.ContainsAny(key, "/\\:*?\"<>| \t\n")
+}
+
+// Get returns the payload stored under key, or (nil, false) on any miss:
+// absent, unreadable, corrupt, or recorded under a different key.
+func (d *Dir) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		d.misses.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.file(key))
+	if err != nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Key != key || len(e.Payload) == 0 {
+		d.misses.Add(1)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return e.Payload, true
+}
+
+// Put stores payload under key, replacing any existing entry atomically: the
+// envelope is written to a temp file in the same directory and renamed into
+// place, so concurrent readers see either the old complete entry or the new
+// one, never a torn write.
+func (d *Dir) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		d.errors.Add(1)
+		return &os.PathError{Op: "runcache.Put", Path: key, Err: os.ErrInvalid}
+	}
+	raw, err := json.Marshal(entry{Key: key, Payload: payload})
+	if err != nil {
+		d.errors.Add(1)
+		return err
+	}
+	tmp, err := os.CreateTemp(d.path, ".tmp-*")
+	if err != nil {
+		d.errors.Add(1)
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.file(key)); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return err
+	}
+	d.puts.Add(1)
+	return nil
+}
+
+// Len reports the number of entry files currently in the directory.
+func (d *Dir) Len() int {
+	names, err := os.ReadDir(d.path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range names {
+		if strings.HasSuffix(de.Name(), ".json") && !strings.HasPrefix(de.Name(), ".") {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Dir) file(key string) string {
+	return filepath.Join(d.path, key+".json")
+}

@@ -1,0 +1,147 @@
+package runcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"makespan_ps":42}`)
+	if err := d.Put("v1-abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("v1-abc123")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if st := d.Stats(); st.Hits != 1 || st.Misses != 0 || st.Puts != 1 || st.Errors != 0 {
+		t.Fatalf("stats after round trip: %+v", st)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestAbsentKeyMisses(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("v1-nothere"); ok {
+		t.Fatal("absent key hit")
+	}
+	if st := d.Stats(); st.Misses != 1 {
+		t.Fatalf("miss not counted: %+v", st)
+	}
+}
+
+// A corrupt entry file (truncated write from a crashed process, disk
+// garbage) must read as a miss, never as an error or a bogus payload.
+func TestCorruptEntryMisses(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "v1-corrupt.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("v1-corrupt"); ok {
+		t.Fatal("corrupt entry hit")
+	}
+}
+
+// An entry recorded under a different key (renamed file, hash collision,
+// tampering) must miss: the envelope's recorded key is the authority.
+func TestMismatchedKeyMisses(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("v1-original", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, "v1-original.json"), filepath.Join(dir, "v1-renamed.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("v1-renamed"); ok {
+		t.Fatal("entry recorded under a different key hit")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", ".hidden", "sp ace"} {
+		if err := d.Put(key, []byte(`1`)); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok := d.Get(key); ok {
+			t.Errorf("Get(%q) hit on an invalid key", key)
+		}
+	}
+}
+
+// Put replaces entries atomically and leaves no temp droppings behind.
+func TestPutReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("v1-k", []byte(`"old"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("v1-k", []byte(`"new"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("v1-k")
+	if !ok || string(got) != `"new"` {
+		t.Fatalf("Get after replace = %q, %v", got, ok)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := d.Put("v1-shared", []byte(`{"x":1}`)); err != nil {
+					t.Error(err)
+					return
+				}
+				if payload, ok := d.Get("v1-shared"); ok && string(payload) != `{"x":1}` {
+					t.Errorf("torn read: %q", payload)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench_summary.sh [BENCH.json] — render a syncron-bench -perf report as a
+# GitHub job-summary Markdown table. CI appends the output to
+# $GITHUB_STEP_SUMMARY so events/sec trends are visible on every PR without
+# downloading artifacts:
+#
+#   go run ./cmd/syncron-bench -perf -perf-out BENCH.ci.json
+#   scripts/bench_summary.sh BENCH.ci.json >> "$GITHUB_STEP_SUMMARY"
+#
+# Requires jq (preinstalled on ubuntu-latest runners).
+set -euo pipefail
+
+f=${1:-BENCH.json}
+if [ ! -f "$f" ]; then
+    echo "bench_summary: $f not found" >&2
+    exit 2
+fi
+if ! command -v jq >/dev/null; then
+    echo "bench_summary: jq not found" >&2
+    exit 2
+fi
+
+jq -r '
+    def r2: (. * 100 | round) / 100;
+    "### Simulator macro-benchmark — \(.benchmark)",
+    "",
+    "| metric | value |",
+    "|---|---:|",
+    "| events/sec | \(.events_per_sec | round) |",
+    "| events per rep | \(.events_per_rep) |",
+    "| sim runs per rep | \(.sim_runs_per_rep) |",
+    "| best wall ms | \(.best_wall_ms | r2) |",
+    "| allocs per event | \(.allocs_per_event | (. * 1000 | round) / 1000) |",
+    "| bytes per event | \(.bytes_per_event | r2) |",
+    "| peak heap bytes | \(.peak_heap_bytes) |",
+    "| reps × workers | \(.reps) × \(.workers) |",
+    "| toolchain | \(.go_version) \(.goos)/\(.goarch), \(.num_cpu) CPU |",
+    ""
+' "$f"

@@ -1,6 +1,7 @@
 package syncron
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // RunSpec names one simulation: a registered workload on one configuration.
@@ -58,8 +60,23 @@ type RunResult struct {
 	// the throughput numerator of events/sec macro-benchmarks.
 	Events uint64 `json:"events,omitempty"`
 
+	// Key is the SpecKey of the spec as REQUESTED (before Execute resolves
+	// config defaults into Spec.Config), always set by SpecRunner.Run. It is
+	// the run's cache identity: CacheResult needs it because the requested
+	// spec is no longer recoverable from the resolved one. Empty on results
+	// from a bare Execute call.
+	Key string `json:"spec_key,omitempty"`
+
+	// GridIndex is the run's position in the fully expanded, unsharded grid.
+	// Sharded sweeps preserve the unsharded numbering, which is how MergeShards
+	// reassembles shard outputs into the exact byte order an unsharded run
+	// emits. It is bookkeeping of one sweep, not part of the result: the cache
+	// strips it, and Execute (which sees no grid) leaves it 0.
+	GridIndex int `json:"grid_index"`
+
 	// Err is non-empty when the run failed (unknown workload, failed
-	// functional check, or a simulator panic).
+	// functional check, simulator panic, a cache-only miss, or fail-fast
+	// cancellation).
 	Err string `json:"error,omitempty"`
 }
 
@@ -145,6 +162,28 @@ type Sweep struct {
 	Workers int
 	// BaseSeed anchors the deterministic per-run seeds (see RunSpecs).
 	BaseSeed uint64
+	// Cache, when non-nil, lets runs whose SpecKey is already cached skip
+	// simulation entirely and stores every newly simulated successful result.
+	// See DirCache and WithCache.
+	Cache ResultCache
+	// CacheOnly forbids simulation: a run missing from Cache is reported as a
+	// failed result instead of being executed. Used by `figures -from DIR`.
+	CacheOnly bool
+	// FailFast cancels runs that have not started yet as soon as any run
+	// fails; canceled runs report an Err naming the first failure. Which runs
+	// are canceled depends on worker timing, so FailFast trades the
+	// byte-determinism of failing sweeps for a fast exit (successful sweeps
+	// are unaffected).
+	FailFast bool
+	// Shard restricts execution to one deterministic slice of the grid; the
+	// zero value runs everything.
+	Shard Shard
+}
+
+// WithCache returns a copy of the sweep wired to cache.
+func (s Sweep) WithCache(c ResultCache) Sweep {
+	s.Cache = c
+	return s
 }
 
 // Expand enumerates the grid in a fixed order: workload outermost, then
@@ -200,9 +239,17 @@ func (s Sweep) Expand() []RunSpec {
 	return specs
 }
 
-// Run expands the grid and executes it; see RunSpecs.
+// Run expands the grid and executes it (or the configured Shard of it) with
+// the sweep's execution policy; see SpecRunner.Run.
 func (s Sweep) Run() []RunResult {
-	return RunSpecs(s.Expand(), s.Workers, s.BaseSeed)
+	return SpecRunner{
+		Workers:   s.Workers,
+		BaseSeed:  s.BaseSeed,
+		Cache:     s.Cache,
+		CacheOnly: s.CacheOnly,
+		FailFast:  s.FailFast,
+		Shard:     s.Shard,
+	}.Run(s.Expand())
 }
 
 // RunSpecs executes specs on a pool of workers goroutines (default
@@ -210,34 +257,202 @@ func (s Sweep) Run() []RunResult {
 // Config.Seed is zero gets a seed derived only from baseSeed and its index,
 // so results are byte-identical regardless of the worker count.
 func RunSpecs(specs []RunSpec, workers int, baseSeed uint64) []RunResult {
+	return SpecRunner{Workers: workers, BaseSeed: baseSeed}.Run(specs)
+}
+
+// ResolveSeeds returns a copy of specs in which every zero Config.Seed is
+// replaced by a seed derived only from baseSeed and the spec's grid index —
+// the same derivation at any worker count or shard split. Seed resolution is
+// the step that turns a grid definition into content-addressable work: after
+// it, every spec is a pure description of one deterministic run, hashable
+// with SpecKey.
+func ResolveSeeds(specs []RunSpec, baseSeed uint64) []RunSpec {
+	out := make([]RunSpec, len(specs))
+	for i, spec := range specs {
+		if spec.Config.Seed == 0 {
+			spec.Config.Seed = deriveSeed(baseSeed, i)
+		}
+		out[i] = spec
+	}
+	return out
+}
+
+// Shard names one slice of an N-way grid partition. Index must be in
+// [0, Count); the zero value (Count 0, like Count 1) means "the whole grid".
+type Shard struct {
+	Index int
+	Count int
+}
+
+// validate panics on an impossible shard — a configuration bug, caught
+// before any simulation starts (CLI flags are validated at parse time).
+func (sh Shard) validate() {
+	if sh.Count < 0 || sh.Index < 0 || (sh.Count > 0 && sh.Index >= sh.Count) {
+		panic(fmt.Sprintf("syncron: invalid shard %d/%d (want 0 <= index < count)", sh.Index, sh.Count))
+	}
+}
+
+// Select returns the grid indices of the seed-resolved specs that belong to
+// the shard, in grid order. Shards of the same Count are disjoint and
+// exhaustive: every spec belongs to exactly one of them, assigned by spec
+// content hash (see shardOf), never by position — so any process expanding
+// the same grid computes the same partition.
+func (sh Shard) Select(specs []RunSpec) []int {
+	sh.validate()
+	if sh.Count <= 1 {
+		idx := make([]int, len(specs))
+		for i := range specs {
+			idx[i] = i
+		}
+		return idx
+	}
+	var idx []int
+	for i, spec := range specs {
+		if shardOf(spec, sh.Count) == sh.Index {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// SpecRunner is the execution policy of a sweep: worker-pool width, seed
+// derivation, result caching, and shard selection. Sweep.Run is
+// SpecRunner.Run over Sweep.Expand; the CLI uses SpecRunner directly when it
+// post-processes expanded specs before running them.
+type SpecRunner struct {
+	// Workers bounds simultaneous runs (default GOMAXPROCS).
+	Workers int
+	// BaseSeed anchors per-run seed derivation (see ResolveSeeds).
+	BaseSeed uint64
+	// Cache, CacheOnly, FailFast, and Shard behave as on Sweep.
+	Cache     ResultCache
+	CacheOnly bool
+	FailFast  bool
+	Shard     Shard
+}
+
+// Run resolves seeds over the full spec list, selects the runner's shard,
+// and executes it on the worker pool. It returns one result per selected
+// spec in grid order, each carrying its unsharded GridIndex, so shard
+// outputs merge (MergeShards) into the exact byte sequence an unsharded run
+// produces. Cached results are returned without simulating; newly simulated
+// successful results are stored back (best-effort — a failed cache write is
+// ignored).
+func (r SpecRunner) Run(specs []RunSpec) []RunResult {
+	resolved := ResolveSeeds(specs, r.BaseSeed)
+	selected := r.Shard.Select(resolved)
+
+	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > len(selected) {
+		workers = len(selected)
 	}
-	results := make([]RunResult, len(specs))
-	idx := make(chan int)
+	results := make([]RunResult, len(selected))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var failed atomic.Pointer[RunResult]
+	pos := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				spec := specs[i]
-				if spec.Config.Seed == 0 {
-					spec.Config.Seed = deriveSeed(baseSeed, i)
-				}
-				results[i] = Execute(spec)
+			for p := range pos {
+				results[p] = r.runOne(ctx, resolved[selected[p]], selected[p], &failed, cancel)
 			}
 		}()
 	}
-	for i := range specs {
-		idx <- i
+	for p := range selected {
+		pos <- p
 	}
-	close(idx)
+	close(pos)
 	wg.Wait()
 	return results
+}
+
+// runOne executes (or cache-serves, or cancels) one seed-resolved spec.
+func (r SpecRunner) runOne(ctx context.Context, spec RunSpec, gridIndex int,
+	failed *atomic.Pointer[RunResult], cancel context.CancelFunc) RunResult {
+	// The key hashes the spec as requested, before Execute resolves config
+	// defaults into the result; it is computed whether or not a cache is
+	// wired so cached and uncached sweeps serialize identically.
+	key := SpecKey(spec)
+	finish := func(res RunResult) RunResult {
+		res.Key = key
+		res.GridIndex = gridIndex
+		if r.FailFast && res.Err != "" {
+			if failed.CompareAndSwap(nil, &res) {
+				cancel()
+			}
+		}
+		return res
+	}
+	if r.FailFast && ctx.Err() != nil {
+		res := RunResult{Spec: spec, Seed: spec.Config.Seed, Key: key, GridIndex: gridIndex}
+		if first := failed.Load(); first != nil {
+			res.Err = fmt.Sprintf("canceled by fail-fast: %s under %s failed: %s",
+				first.Spec.Workload, first.Spec.Config.Scheme, first.Err)
+		} else {
+			res.Err = "canceled by fail-fast"
+		}
+		return res
+	}
+	if r.Cache != nil {
+		if payload, ok := r.Cache.Get(key); ok {
+			if res, err := decodeCachedResult(payload); err == nil {
+				return finish(res)
+			}
+		}
+	}
+	if r.CacheOnly {
+		res := RunResult{Spec: spec, Seed: spec.Config.Seed}
+		if r.Cache == nil {
+			res.Err = "cache-only run without a cache"
+		} else {
+			res.Err = fmt.Sprintf("not in cache (key %s); run the sweep with -cache first", key)
+		}
+		return finish(res)
+	}
+	res := Execute(spec)
+	res.Key = key
+	if r.Cache != nil && res.Err == "" {
+		if payload, err := encodeCachedResult(res); err == nil {
+			_ = r.Cache.Put(key, payload) // best-effort: a failed write only costs a future miss
+		}
+	}
+	return finish(res)
+}
+
+// MergeShards reassembles shard outputs into the full grid: results are
+// reordered by GridIndex and validated to cover exactly 0..n-1 once each —
+// a missing index means a shard output was lost, a duplicate means two
+// overlapping (or repeated) shard files. The merged slice serializes
+// (WriteJSON, WriteCSV) byte-identically to the unsharded run of the same
+// grid. A single unsharded output is itself a valid input.
+func MergeShards(shards ...[]RunResult) ([]RunResult, error) {
+	var all []RunResult
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("syncron: merging empty shard set")
+	}
+	merged := make([]RunResult, len(all))
+	seen := make([]bool, len(all))
+	for _, r := range all {
+		if r.GridIndex < 0 || r.GridIndex >= len(all) {
+			return nil, fmt.Errorf("syncron: grid index %d out of range for %d merged results (shard set incomplete?)",
+				r.GridIndex, len(all))
+		}
+		if seen[r.GridIndex] {
+			return nil, fmt.Errorf("syncron: duplicate grid index %d (overlapping or repeated shard outputs)", r.GridIndex)
+		}
+		seen[r.GridIndex] = true
+		merged[r.GridIndex] = r
+	}
+	return merged, nil
 }
 
 // deriveSeed mixes baseSeed and the run index (splitmix64 finalizer) into a
