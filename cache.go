@@ -131,6 +131,15 @@ func encodeCachedResult(res RunResult) ([]byte, error) {
 	return json.Marshal(res)
 }
 
+// DecodeCachedResult deserializes a ResultCache payload back into the
+// RunResult the sweep engine stored (see CacheResult for the inverse). It is
+// the hook for serving layers that answer cache hits themselves instead of
+// going through SpecRunner — the serve daemon uses it to resolve submissions
+// at admission time. Failures mean the payload should be treated as a miss.
+func DecodeCachedResult(payload []byte) (RunResult, error) {
+	return decodeCachedResult(payload)
+}
+
 // decodeCachedResult deserializes a stored payload. Any decode failure is
 // reported as a miss by the caller.
 func decodeCachedResult(payload []byte) (RunResult, error) {

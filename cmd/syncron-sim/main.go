@@ -33,6 +33,15 @@
 //	syncron-sim figures --quick -topologies alltoall,mesh,ring,star
 //	syncron-sim figures --quick -cache .gridcache   # second run simulates nothing
 //
+// Serving (long-running daemon: POST RunSpecs or sweep grids over HTTP,
+// cache-backed dedup and single-flight, bounded queue with backpressure,
+// streaming progress; drains gracefully on SIGTERM):
+//
+//	syncron-sim serve -addr 127.0.0.1:8080 -cache .servecache
+//	curl -s -X POST localhost:8080/jobs -d "{\"specs\":[$(syncron-sim run -seed 7 -print-spec)]}"
+//	curl -s localhost:8080/jobs/<id>/events       # NDJSON progress stream
+//	curl -s localhost:8080/jobs/<id>/result       # byte-identical to run -json
+//
 // Discovery:
 //
 //	syncron-sim list
@@ -40,16 +49,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"syncron"
+	"syncron/internal/serve"
 )
 
 func main() {
@@ -67,14 +83,17 @@ func main() {
 		figuresCmd(args)
 	case "merge":
 		mergeCmd(args)
+	case "serve":
+		serveCmd(args)
 	case "list":
 		listCmd()
 	case "cache-version":
 		// The spec-hash version, for cache invalidation keys (CI keys its
-		// actions/cache entries on it; see SpecKeyVersion).
-		fmt.Printf("v%d\n", syncron.SpecKeyVersion)
+		// actions/cache entries on it; see SpecKeyVersion). The serve
+		// daemon's GET /version reports the same syncron.Version() value.
+		fmt.Printf("%s\n", syncron.Version().CacheVersion)
 	default:
-		fatal("unknown subcommand %q (want run, sweep, figures, merge, list, or cache-version)", cmd)
+		fatal("unknown subcommand %q (want run, sweep, figures, merge, serve, list, or cache-version)", cmd)
 	}
 }
 
@@ -140,12 +159,14 @@ func parseTopologyList(s string) []syncron.Topology {
 func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		workload = fs.String("workload", "stack", "workload name; see `syncron-sim list`")
-		scheme   = fs.String("scheme", "syncron", "central | hier | syncron | flat | ideal | mesi-lock | ttas | htl")
-		scale    = fs.Float64("scale", 0.25, "workload scale factor")
-		ops      = fs.Int("ops", 40, "operations per core (data structures)")
-		interval = fs.Int64("interval", 200, "instructions between sync points (primitives)")
-		metis    = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
+		workload  = fs.String("workload", "stack", "workload name; see `syncron-sim list`")
+		scheme    = fs.String("scheme", "syncron", "central | hier | syncron | flat | ideal | mesi-lock | ttas | htl")
+		scale     = fs.Float64("scale", 0.25, "workload scale factor")
+		ops       = fs.Int("ops", 40, "operations per core (data structures)")
+		interval  = fs.Int64("interval", 200, "instructions between sync points (primitives)")
+		metis     = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
+		jsonOut   = fs.String("json", "", "also write the result as JSON to this path (- = stdout, suppressing the report); byte-identical to the serve daemon's result for the same spec")
+		printSpec = fs.Bool("print-spec", false, "print the canonical RunSpec JSON and exit without simulating (the exact payload to POST to a serve daemon)")
 	)
 	cfg, _, topology := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
@@ -169,11 +190,33 @@ func runCmd(args []string) {
 	if _, ok := syncron.LookupWorkload(*workload); !ok {
 		fatal("unknown workload %q (try `syncron-sim list`)", *workload)
 	}
-	res := syncron.Execute(spec)
+	if *printSpec {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(spec); err != nil {
+			fatal("encoding spec: %v", err)
+		}
+		return
+	}
+	// run is exactly a one-spec sweep: same seed derivation (a zero -seed gets
+	// deriveSeed(0, 0), as a serve daemon resolves it), same SpecKey stamping,
+	// same serialization — so `run -json`, `sweep`, and a serve job of the
+	// same spec are byte-interchangeable.
+	res := syncron.SpecRunner{}.Run([]syncron.RunSpec{spec})[0]
+	if *jsonOut != "" {
+		if *jsonOut == "-" {
+			if err := syncron.WriteJSON(os.Stdout, []syncron.RunResult{res}); err != nil {
+				fatal("writing JSON: %v", err)
+			}
+		} else {
+			writeFile(*jsonOut, []syncron.RunResult{res}, syncron.WriteJSON)
+		}
+	}
 	if res.Err != "" {
 		fatal("%s", res.Err)
 	}
-	report(res)
+	if *jsonOut != "-" {
+		report(res)
+	}
 }
 
 func report(res syncron.RunResult) {
@@ -557,6 +600,81 @@ func mergeCmd(args []string) {
 	if *csvOut != "" {
 		writeFile(*csvOut, merged, syncron.WriteCSV)
 	}
+}
+
+// serveCmd runs the long-lived sweep-as-a-service daemon: submissions over
+// HTTP, cache-backed dedup and single-flight, a bounded job queue with
+// backpressure, streaming progress, and graceful drain on SIGINT/SIGTERM
+// (in-flight and queued work is finished and persisted to the cache before
+// exit; the process exits 0 on a clean drain).
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue", 256, "max queued runs; submissions above this are rejected with 503 + Retry-After")
+		cacheDir     = fs.String("cache", "", "content-addressed result cache directory (strongly recommended: it is the serving memoization tier)")
+		retryAfter   = fs.Duration("retry-after", time.Second, "backoff hint attached to backpressure rejections")
+		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for queued and in-flight runs before forcing exit")
+		maxJobs      = fs.Int("max-jobs", 1024, "retained job records; oldest terminal jobs are evicted beyond this")
+	)
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
+
+	opt := serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		RetryAfter: *retryAfter,
+		MaxJobs:    *maxJobs,
+	}
+	cache := openCache(*cacheDir)
+	if cache != nil {
+		opt.Cache = cache
+	}
+	srv := serve.New(opt)
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "syncron-sim: serving on http://%s (workers %d, queue %d, cache %s, %s)\n",
+		ln.Addr(), opt.Workers, opt.QueueDepth, cacheName(cache), syncron.Version().CacheVersion)
+
+	select {
+	case err := <-errc:
+		fatal("serving: %v", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "syncron-sim: draining (timeout %s)\n", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Drain the job scheduler first: once every job is terminal, open
+		// event streams end on their own and the HTTP shutdown below has no
+		// long-lived connections left to wait out.
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "syncron-sim: drain incomplete: %v\n", err)
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		if err := hs.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "syncron-sim: http shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		reportCacheStats(cache)
+		fmt.Fprintln(os.Stderr, "syncron-sim: drained cleanly")
+	}
+}
+
+// cacheName names the cache for the startup banner.
+func cacheName(cache *syncron.CacheDir) string {
+	if cache == nil {
+		return "none"
+	}
+	return cache.Path()
 }
 
 // writeFile emits results to path, failing loudly on write AND close errors

@@ -2,6 +2,7 @@ package runcache
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -109,6 +110,67 @@ func TestPutReplacesAtomically(t *testing.T) {
 	got, ok := d.Get("v1-k")
 	if !ok || string(got) != `"new"` {
 		t.Fatalf("Get after replace = %q, %v", got, ok)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// Writers racing DISTINCT payloads onto one key — the serve daemon's shape
+// when several processes finish the same spec — must never expose a torn or
+// interleaved entry: every read is one writer's complete payload, exactly one
+// entry survives, and no temp files leak. Run under -race.
+func TestConcurrentSameKeyDistinctPayloads(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	valid := make(map[string]bool, writers)
+	payloads := make([][]byte, writers)
+	for i := range payloads {
+		// Distinct lengths so a torn write could not masquerade as a shorter
+		// valid payload.
+		payloads[i] = []byte(fmt.Sprintf(`{"writer":%d,"pad":%q}`, i, strings.Repeat("x", i*37)))
+		valid[string(payloads[i])] = true
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(p []byte) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := d.Put("v1-contested", p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(payloads[i])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if payload, ok := d.Get("v1-contested"); ok && !valid[string(payload)] {
+					t.Errorf("torn read: %q", payload)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := d.Get("v1-contested")
+	if !ok || !valid[string(got)] {
+		t.Fatalf("final read = %q, %v; want one writer's full payload", got, ok)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {

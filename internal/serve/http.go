@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"syncron"
+)
+
+// maxRequestBytes bounds a submission body; the largest legitimate grids are
+// a few hundred KB of JSON.
+const maxRequestBytes = 8 << 20
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /jobs              submit specs or a sweep grid (202; 200 on dedup;
+//	                          503 + Retry-After under backpressure)
+//	GET    /jobs              list retained jobs
+//	GET    /jobs/{id}         job status
+//	GET    /jobs/{id}/events  progress stream (NDJSON; SSE with
+//	                          Accept: text/event-stream; ?from=N resumes)
+//	GET    /jobs/{id}/result  results, byte-identical to the batch CLI
+//	DELETE /jobs/{id}         cancel
+//	GET    /healthz           liveness (503 while draining)
+//	GET    /metrics           operational counters
+//	GET    /version           build info + SpecKey version
+//	GET    /workloads         registered workload names by kind
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	return mux
+}
+
+// writeJSON emits one JSON document. Encoding errors past the header are
+// unrecoverable mid-response and are deliberately dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.opt.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, created, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, job.Status())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves the {id} path value, writing a 404 on a miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	canceled, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	j, _ := s.Job(id)
+	st := j.Status()
+	if !canceled && st.State != StateCanceled {
+		// Already finished: nothing to cancel, but the outcome is unambiguous.
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResult renders a terminal job's results with syncron.WriteJSON — the
+// exact bytes `syncron-sim run -json` / `sweep -json` emit for the same
+// specs, which is what lets CI diff the serve path against the batch path.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	results, terminal := j.Results()
+	if !terminal {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeJSON(w, http.StatusConflict, j.Status())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = syncron.WriteJSON(w, results)
+}
+
+// handleEvents streams the job's event log from ?from=N (default 0): history
+// first, then live appends until the job is terminal or the client leaves.
+// Framing is NDJSON unless the client asks for text/event-stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from cursor %q", v)
+			return
+		}
+		from = n
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for {
+		events, terminal, changed := j.next(from)
+		for _, e := range events {
+			raw, err := json.Marshal(e)
+			if err != nil {
+				return // cannot happen for Event; bail rather than corrupt the stream
+			}
+			if sse {
+				_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, raw)
+			} else {
+				_, _ = w.Write(append(raw, '\n'))
+			}
+		}
+		from += len(events)
+		if len(events) > 0 {
+			flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleVersion reports build identity plus the SpecKey version, so clients
+// can tell whether their locally computed keys (and caches) are compatible
+// with this server. It is the same information `syncron-sim cache-version`
+// prints — both read syncron.Version().
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, syncron.Version())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	out := map[string][]string{}
+	for _, kind := range syncron.Kinds() {
+		out[string(kind)] = syncron.WorkloadNamesOfKind(kind)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

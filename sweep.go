@@ -67,6 +67,12 @@ type RunResult struct {
 	// from a bare Execute call.
 	Key string `json:"spec_key,omitempty"`
 
+	// Cached reports that this result was served from a ResultCache rather
+	// than simulated. It is observability metadata of one lookup, not part of
+	// the result, so it is never serialized: the same payload renders
+	// identically whether it was simulated or replayed.
+	Cached bool `json:"-"`
+
 	// GridIndex is the run's position in the fully expanded, unsharded grid.
 	// Sharded sweeps preserve the unsharded numbering, which is how MergeShards
 	// reassembles shard outputs into the exact byte order an unsharded run
@@ -329,6 +335,13 @@ type SpecRunner struct {
 	CacheOnly bool
 	FailFast  bool
 	Shard     Shard
+	// OnResult, when non-nil, is invoked once per completed run — simulated,
+	// cache-served, failed, or canceled — as results become available.
+	// Invocations are serialized (never concurrent) but arrive in completion
+	// order, not grid order; use RunResult.GridIndex to re-anchor. It is the
+	// progress hook of long-running callers (the serve daemon streams run
+	// completions from it).
+	OnResult func(RunResult)
 }
 
 // Run resolves seeds over the full spec list, selects the runner's shard,
@@ -339,6 +352,18 @@ type SpecRunner struct {
 // successful results are stored back (best-effort — a failed cache write is
 // ignored).
 func (r SpecRunner) Run(specs []RunSpec) []RunResult {
+	return r.RunContext(context.Background(), specs)
+}
+
+// RunContext is Run under a caller-supplied context: once ctx is canceled
+// (or its deadline passes), runs that have not started yet are not simulated.
+// Cancellation granularity is between runs — a simulation already in flight
+// completes (the discrete-event engine is not preemptible) and its result is
+// still returned and cached. Canceled runs are reported, never dropped: the
+// returned slice always has one result per selected spec, in grid order, and
+// a canceled run carries a non-empty Err naming the context error, so callers
+// (and OnResult observers) can tell "not run" apart from "lost".
+func (r SpecRunner) RunContext(ctx context.Context, specs []RunSpec) []RunResult {
 	resolved := ResolveSeeds(specs, r.BaseSeed)
 	selected := r.Shard.Select(resolved)
 
@@ -350,9 +375,10 @@ func (r SpecRunner) Run(specs []RunSpec) []RunResult {
 		workers = len(selected)
 	}
 	results := make([]RunResult, len(selected))
-	ctx, cancel := context.WithCancel(context.Background())
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var failed atomic.Pointer[RunResult]
+	var cbMu sync.Mutex // serializes OnResult across workers
 	pos := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -360,7 +386,12 @@ func (r SpecRunner) Run(specs []RunSpec) []RunResult {
 		go func() {
 			defer wg.Done()
 			for p := range pos {
-				results[p] = r.runOne(ctx, resolved[selected[p]], selected[p], &failed, cancel)
+				results[p] = r.runOne(runCtx, resolved[selected[p]], selected[p], &failed, cancel)
+				if r.OnResult != nil {
+					cbMu.Lock()
+					r.OnResult(results[p])
+					cbMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -389,19 +420,23 @@ func (r SpecRunner) runOne(ctx context.Context, spec RunSpec, gridIndex int,
 		}
 		return res
 	}
-	if r.FailFast && ctx.Err() != nil {
+	if ctx.Err() != nil {
 		res := RunResult{Spec: spec, Seed: spec.Config.Seed, Key: key, GridIndex: gridIndex}
-		if first := failed.Load(); first != nil {
+		// A fail-fast failure is always recorded before the internal cancel, so
+		// a done context with no recorded failure means the caller's RunContext
+		// context was canceled or timed out.
+		if first := failed.Load(); r.FailFast && first != nil {
 			res.Err = fmt.Sprintf("canceled by fail-fast: %s under %s failed: %s",
 				first.Spec.Workload, first.Spec.Config.Scheme, first.Err)
 		} else {
-			res.Err = "canceled by fail-fast"
+			res.Err = fmt.Sprintf("canceled: %v", ctx.Err())
 		}
 		return res
 	}
 	if r.Cache != nil {
 		if payload, ok := r.Cache.Get(key); ok {
 			if res, err := decodeCachedResult(payload); err == nil {
+				res.Cached = true
 				return finish(res)
 			}
 		}

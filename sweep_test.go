@@ -2,6 +2,7 @@ package syncron_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -308,5 +309,103 @@ func TestExecuteRejectsUnknownTopology(t *testing.T) {
 		Params: syncron.WorkloadParams{Rounds: 2}})
 	if res.Err == "" || !strings.Contains(res.Err, "torus") {
 		t.Fatalf("unknown topology not reported: %+v", res.Err)
+	}
+}
+
+// A canceled RunContext must report every not-yet-started run as a canceled
+// result — same length, same order, Err set — never silently drop it. The
+// cancel fires from OnResult after the first completion, so later runs are
+// guaranteed to observe the dead context.
+func TestRunContextCancelReportsRemainingRuns(t *testing.T) {
+	specs := syncron.ResolveSeeds(tinySweep(1).Expand(), 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completions int
+	r := syncron.SpecRunner{
+		Workers: 1,
+		OnResult: func(syncron.RunResult) {
+			completions++
+			cancel() // after the first run finishes, doom the rest
+		},
+	}
+	results := r.RunContext(ctx, specs)
+	if len(results) != len(specs) {
+		t.Fatalf("canceled run returned %d results for %d specs", len(results), len(specs))
+	}
+	if completions != len(specs) {
+		t.Fatalf("OnResult fired %d times, want once per spec (%d)", completions, len(specs))
+	}
+	var canceled int
+	for i, res := range results {
+		if res.Spec.Workload != specs[i].Workload || res.Key == "" {
+			t.Fatalf("result %d lost its identity: %+v", i, res)
+		}
+		if strings.Contains(res.Err, "canceled:") {
+			canceled++
+		} else if res.Err != "" {
+			t.Fatalf("unexpected failure at %d: %s", i, res.Err)
+		}
+	}
+	if canceled == 0 || canceled == len(results) {
+		t.Fatalf("%d of %d runs canceled; want some completed and some canceled", canceled, len(results))
+	}
+}
+
+// Cache-served results carry the in-memory Cached marker, but it never
+// reaches the serialized payload: warm and cold runs must render to identical
+// bytes, or the serve daemon's byte-identity contract with the batch CLI
+// breaks.
+func TestCachedFlagSetButNeverSerialized(t *testing.T) {
+	cache, err := syncron.DirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := syncron.ResolveSeeds(tinySweep(1).Expand(), 7)
+	r := syncron.SpecRunner{Workers: 2, Cache: cache}
+	cold := r.Run(specs)
+	warm := r.Run(specs)
+	for i := range cold {
+		if cold[i].Cached {
+			t.Fatalf("cold run %d marked cached", i)
+		}
+		if !warm[i].Cached {
+			t.Fatalf("warm run %d not marked cached", i)
+		}
+	}
+	var coldJSON, warmJSON bytes.Buffer
+	if err := syncron.WriteJSON(&coldJSON, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := syncron.WriteJSON(&warmJSON, warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()) {
+		t.Fatal("warm results serialize differently from cold results")
+	}
+}
+
+// OnResult observes cache hits too, and its invocations are serialized even
+// with a parallel worker pool (the callback mutates shared state freely).
+func TestOnResultObservesCacheHits(t *testing.T) {
+	cache, err := syncron.DirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := syncron.ResolveSeeds(tinySweep(1).Expand(), 7)
+	syncron.SpecRunner{Workers: 4, Cache: cache}.Run(specs)
+	var hits, total int
+	r := syncron.SpecRunner{
+		Workers: 4,
+		Cache:   cache,
+		OnResult: func(res syncron.RunResult) {
+			total++ // shared state: safe only because invocations serialize
+			if res.Cached {
+				hits++
+			}
+		},
+	}
+	r.Run(specs)
+	if total != len(specs) || hits != len(specs) {
+		t.Fatalf("warm OnResult saw %d results, %d cached; want %d of each", total, hits, len(specs))
 	}
 }

@@ -1,0 +1,52 @@
+package syncron
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// VersionInfo identifies a build of the simulator for cache-compatibility
+// checks: two builds whose CacheVersion matches produce (and accept) each
+// other's SpecKeys, so a client can decide whether a remote serve daemon's
+// cache entries are meaningful for it. It is the one source of truth behind
+// both `syncron-sim cache-version` and the serve daemon's `GET /version`.
+type VersionInfo struct {
+	// SpecKeyVersion is the canonical RunSpec encoding version (SpecKeyVersion).
+	SpecKeyVersion int `json:"spec_key_version"`
+	// CacheVersion is the key prefix every SpecKey carries ("v<N>").
+	CacheVersion string `json:"cache_version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// Revision, VCSTime, and Modified describe the source the binary was
+	// built from, when the build embedded VCS metadata (plain `go build` in a
+	// git checkout does; `go run` of a dirty tree may not).
+	Revision string `json:"revision,omitempty"`
+	VCSTime  string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+// Version reports the running build's identity. SpecKeyVersion and
+// CacheVersion are always populated; the build metadata fields are best-effort
+// (empty when the binary carries no build info).
+func Version() VersionInfo {
+	v := VersionInfo{
+		SpecKeyVersion: SpecKeyVersion,
+		CacheVersion:   fmt.Sprintf("v%d", SpecKeyVersion),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.VCSTime = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+}
