@@ -64,13 +64,18 @@ func TestSpecKeyGolden(t *testing.T) {
 // checklist (see TestSpecKeyGolden) — a silent cache-poisoning hazard,
 // because two now-different specs would share a key.
 func TestSpecKeyCoversEveryField(t *testing.T) {
+	// Config counts 12 fields but specKeyRecord covers 11: Parallelism is the
+	// one deliberate exemption — it selects the engine's dispatcher, which is
+	// proven byte-identical to serial (internal/sim/paralleltest and the CI
+	// parallel-determinism matrix), so serial and parallel runs of one spec
+	// are the same experiment and must share a cache entry.
 	for _, c := range []struct {
 		name string
 		v    any
 		want int
 	}{
 		{"RunSpec", syncron.RunSpec{}, 3},
-		{"Config", syncron.Config{}, 11},
+		{"Config", syncron.Config{}, 12},
 		{"WorkloadParams", syncron.WorkloadParams{}, 6},
 	} {
 		if got := reflect.TypeOf(c.v).NumField(); got != c.want {
@@ -121,6 +126,14 @@ func TestSpecKeyChangesWithEveryField(t *testing.T) {
 	// And the hash must be a pure function of the value.
 	if syncron.SpecKey(base) != syncron.SpecKey(base) {
 		t.Fatal("SpecKey is not deterministic")
+	}
+	// Parallelism is the deliberate non-semantic field (see
+	// TestSpecKeyCoversEveryField): it must NOT change the key, so serial and
+	// parallel executions of one spec share a cache entry.
+	par := base
+	par.Config.Parallelism = 8
+	if syncron.SpecKey(par) != syncron.SpecKey(base) {
+		t.Error("Parallelism changed the SpecKey; execution mode must not affect cache identity")
 	}
 }
 

@@ -20,11 +20,14 @@
 // -all the remaining experiments still run.
 //
 // The -perf mode replays the canonical `figures --quick` grids
-// (syncron.FigureSweeps) several times and writes BENCH.json: wall time per
-// repetition, simulated events/sec, allocations per event, and peak heap.
-// The event count must be identical across repetitions — the simulator is
-// deterministic — so BENCH.json doubles as a determinism check. CI's perf
-// gate and the repo's recorded perf trajectory both read this file.
+// (syncron.FigureSweeps) several times under the serial engine and again
+// under the parallel dispatcher, and writes BENCH.json: one entry per
+// configuration with wall time per repetition, simulated events/sec,
+// allocations per event, and peak heap. The event count must be identical
+// across repetitions AND across the serial/parallel entries — the simulator
+// is deterministic and engine parallelism never changes what executes — so
+// BENCH.json doubles as a determinism check. CI's bench smoke job and the
+// repo's recorded perf trajectory both read this file.
 package main
 
 import (
@@ -50,6 +53,7 @@ func main() {
 		perfOut  = flag.String("perf-out", "BENCH.json", "macro-benchmark report path (use - for stdout)")
 		perfReps = flag.Int("perf-reps", 3, "macro-benchmark repetitions (the best one is the headline)")
 		perfWork = flag.Int("perf-workers", 1, "macro-benchmark worker goroutines; 1 (the default) measures serial simulator throughput, comparable across hosts (0 = GOMAXPROCS)")
+		perfPar  = flag.Int("perf-parallel", 0, "engine dispatch workers for the parallel entry (0 = max(2, NumCPU))")
 	)
 	flag.Parse()
 
@@ -59,7 +63,7 @@ func main() {
 			fmt.Printf("%-8s %-10s %s\n", e.ID, e.Paper, e.Brief)
 		}
 	case *perf:
-		if err := runPerf(*perfReps, *perfWork, *perfOut); err != nil {
+		if err := runPerf(*perfReps, *perfWork, *perfPar, *perfOut); err != nil {
 			fmt.Fprintf(os.Stderr, "syncron-bench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -110,24 +114,37 @@ func runOne(e *exp.Experiment, scale float64) (err error) {
 }
 
 // perfReport is the BENCH.json schema. Field order is fixed so reports diff
-// cleanly across commits.
+// cleanly across commits. The host block and per-rep work counts are shared;
+// each entry is one measured engine configuration over the same grids, so
+// serial and parallel events/sec sit side by side in one report.
 type perfReport struct {
 	Benchmark string `json:"benchmark"`
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
-	// Workers is the sweep worker count the measurement ran with. The default
-	// is 1 — serial simulator throughput, comparable across hosts; anything
-	// else measures parallel sweep wall time and is only comparable to runs
-	// with the same worker count on the same hardware.
-	Workers int `json:"workers"`
 
-	// Reps is the number of repetitions; SimRuns and Events are per
-	// repetition and identical across them (the simulator is deterministic).
+	// Reps is the number of repetitions per entry; SimRuns and Events are
+	// per repetition and identical across reps AND entries (the simulator is
+	// deterministic, and engine parallelism must not change what executes).
 	Reps    int    `json:"reps"`
 	SimRuns int    `json:"sim_runs_per_rep"`
 	Events  uint64 `json:"events_per_rep"`
+
+	Entries []perfEntry `json:"entries"`
+}
+
+// perfEntry is one measured configuration of the macro-benchmark.
+type perfEntry struct {
+	// Name distinguishes entries: "serial" is the comparable-across-hosts
+	// headline, "parallel" measures the engine's parallel dispatcher.
+	Name string `json:"name"`
+	// Workers is the sweep worker count (simultaneous runs). The serial
+	// entry uses 1 so wall time measures single-run simulator throughput.
+	Workers int `json:"workers"`
+	// Parallelism is the engine's dispatch worker count within each run
+	// (sim.Engine.SetParallelism); 0 = the serial dispatcher.
+	Parallelism int `json:"parallelism"`
 
 	WallMSPerRep []float64 `json:"wall_ms_per_rep"`
 	// BestWallMS and EventsPerSec summarize the fastest repetition — the
@@ -140,44 +157,124 @@ type perfReport struct {
 	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 }
 
+// heapSampler polls the live heap from a background goroutine so entries can
+// report peak heap without instrumenting the simulator.
+type heapSampler struct {
+	peak    atomic.Uint64
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), stopped: make(chan struct{})}
+	go func() {
+		defer close(s.stopped)
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > s.peak.Load() {
+				s.peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// take returns the peak heap observed since the last take and resets it, so
+// consecutive entries get independent peaks from one sampler goroutine.
+func (s *heapSampler) take() uint64 { return s.peak.Swap(0) }
+
+// halt stops the sampler goroutine (ReadMemStats is a stop-the-world pause;
+// the ticker must not outlive the benchmark).
+func (s *heapSampler) halt() {
+	close(s.stop)
+	<-s.stopped
+}
+
+// measurePerf runs the figures-quick grids reps times under one engine
+// configuration and returns the entry plus the per-rep work counts.
+func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampler) (perfEntry, int, uint64, error) {
+	sweeps := syncron.FigureSweeps(syncron.FigureOptions{
+		Quick: true, Workers: workers, Parallelism: parallelism,
+	})
+	entry := perfEntry{Name: name, Workers: workers, Parallelism: parallelism}
+	var events uint64
+	simRuns := 0
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sampler.take()
+	for i := 0; i < reps; i++ {
+		var repEvents uint64
+		repRuns := 0
+		start := time.Now()
+		for _, sw := range sweeps {
+			for _, r := range sw.Run() {
+				if r.Err != "" {
+					return entry, 0, 0, fmt.Errorf("%s under %s failed: %s",
+						r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
+				}
+				repEvents += r.Events
+				repRuns++
+			}
+		}
+		wall := time.Since(start)
+		entry.WallMSPerRep = append(entry.WallMSPerRep, float64(wall.Microseconds())/1e3)
+		if i == 0 {
+			simRuns = repRuns
+			events = repEvents
+		} else if repEvents != events {
+			return entry, 0, 0, fmt.Errorf("non-deterministic %s run: rep %d executed %d events, rep 1 executed %d",
+				name, i+1, repEvents, events)
+		}
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	entry.BestWallMS = entry.WallMSPerRep[0]
+	for _, w := range entry.WallMSPerRep[1:] {
+		if w < entry.BestWallMS {
+			entry.BestWallMS = w
+		}
+	}
+	if entry.BestWallMS > 0 {
+		entry.EventsPerSec = float64(events) / (entry.BestWallMS / 1e3)
+	}
+	totalEvents := events * uint64(reps)
+	if totalEvents > 0 {
+		entry.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(totalEvents)
+		entry.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(totalEvents)
+	}
+	entry.PeakHeapBytes = sampler.take()
+	return entry, simRuns, events, nil
+}
+
 // runPerf is the macro-benchmark: it replays the canonical figures --quick
-// grids reps times and writes a perfReport.
-func runPerf(reps, workers int, out string) error {
+// grids reps times serially and again under the parallel engine dispatcher,
+// verifies both executed the identical event count, and writes a perfReport.
+func runPerf(reps, workers, parallelism int, out string) error {
 	if reps < 1 {
 		reps = 1
 	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sweeps := syncron.FigureSweeps(syncron.FigureOptions{Quick: true, Workers: workers})
-
-	// Peak-heap sampler: polls the live heap while the benchmark runs.
-	var peakHeap atomic.Uint64
-	stop := make(chan struct{})
-	sampled := make(chan struct{})
-	go func() {
-		defer close(sampled)
-		var ms runtime.MemStats
-		tick := time.NewTicker(5 * time.Millisecond)
-		defer tick.Stop()
-		for {
-			runtime.ReadMemStats(&ms)
-			if ms.HeapAlloc > peakHeap.Load() {
-				peakHeap.Store(ms.HeapAlloc)
-			}
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-			}
+	if parallelism <= 0 {
+		// Oversubscribing a 1-CPU host still exercises the dispatcher; the
+		// floor of 2 guarantees the parallel entry is never secretly serial.
+		parallelism = runtime.NumCPU()
+		if parallelism < 2 {
+			parallelism = 2
 		}
-	}()
-	// Stop the sampler on every return path (ReadMemStats is a
-	// stop-the-world pause; the ticker must not outlive the benchmark).
-	defer func() {
-		close(stop)
-		<-sampled
-	}()
+	}
+	sampler := startHeapSampler()
+	defer sampler.halt()
 
 	rep := perfReport{
 		Benchmark: "figures-quick",
@@ -185,52 +282,24 @@ func runPerf(reps, workers int, out string) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
-		Workers:   workers,
 		Reps:      reps,
 	}
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
-	for i := 0; i < reps; i++ {
-		var events uint64
-		simRuns := 0
-		start := time.Now()
-		for _, sw := range sweeps {
-			for _, r := range sw.Run() {
-				if r.Err != "" {
-					return fmt.Errorf("%s under %s failed: %s", r.Spec.Workload, r.Spec.Config.Scheme, r.Err)
-				}
-				events += r.Events
-				simRuns++
-			}
-		}
-		wall := time.Since(start)
-		rep.WallMSPerRep = append(rep.WallMSPerRep, float64(wall.Microseconds())/1e3)
-		if i == 0 {
-			rep.SimRuns = simRuns
-			rep.Events = events
-		} else if events != rep.Events {
-			return fmt.Errorf("non-deterministic run: rep %d executed %d events, rep 1 executed %d",
-				i+1, events, rep.Events)
-		}
+	serial, simRuns, events, err := measurePerf("serial", workers, 0, reps, sampler)
+	if err != nil {
+		return err
 	}
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
-
-	rep.BestWallMS = rep.WallMSPerRep[0]
-	for _, w := range rep.WallMSPerRep[1:] {
-		if w < rep.BestWallMS {
-			rep.BestWallMS = w
-		}
+	rep.SimRuns = simRuns
+	rep.Events = events
+	parallel, parRuns, parEvents, err := measurePerf("parallel", workers, parallelism, reps, sampler)
+	if err != nil {
+		return err
 	}
-	if rep.BestWallMS > 0 {
-		rep.EventsPerSec = float64(rep.Events) / (rep.BestWallMS / 1e3)
+	// The dispatcher contract: parallel execution changes wall time only.
+	if parEvents != events || parRuns != simRuns {
+		return fmt.Errorf("parallel entry executed %d events over %d runs, serial executed %d over %d — engine parallelism changed the simulation",
+			parEvents, parRuns, events, simRuns)
 	}
-	totalEvents := rep.Events * uint64(reps)
-	if totalEvents > 0 {
-		rep.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(totalEvents)
-		rep.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(totalEvents)
-	}
-	rep.PeakHeapBytes = peakHeap.Load()
+	rep.Entries = []perfEntry{serial, parallel}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -244,7 +313,9 @@ func runPerf(reps, workers int, out string) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d sim runs, %d events/rep, best %.0f ms, %.2fM events/sec, %.2f allocs/event\n",
-		out, rep.SimRuns, rep.Events, rep.BestWallMS, rep.EventsPerSec/1e6, rep.AllocsPerEvent)
+	for _, e := range rep.Entries {
+		fmt.Printf("wrote %s [%s w=%d p=%d]: %d sim runs, %d events/rep, best %.0f ms, %.2fM events/sec, %.2f allocs/event\n",
+			out, e.Name, e.Workers, e.Parallelism, rep.SimRuns, rep.Events, e.BestWallMS, e.EventsPerSec/1e6, e.AllocsPerEvent)
+	}
 	return nil
 }

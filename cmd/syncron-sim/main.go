@@ -106,10 +106,11 @@ func listCmd() {
 
 // configFlags registers the flags shared by run and sweep and returns a
 // closure resolving them into a Config, plus the raw -cores flag (total
-// client cores) so sweep can re-derive CoresPerUnit per grid point, and the
-// raw -topology flag (run takes one topology; sweep accepts a comma list as
-// a grid axis).
-func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string) {
+// client cores) so sweep can re-derive CoresPerUnit per grid point, the raw
+// -topology flag (run takes one topology; sweep accepts a comma list as a
+// grid axis), and the raw -parallel flag so sweep can apply it to canonical
+// -grid specs after expansion.
+func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *int) {
 	var (
 		units    = fs.Int("units", 4, "NDP units")
 		cores    = fs.Int("cores", 0, "total client cores (default units*15)")
@@ -119,6 +120,7 @@ func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string) {
 		stSize   = fs.Int("st", 0, "SynCron ST entries (default 64)")
 		fairness = fs.Int("fairness", 0, "lock fairness threshold (0 = off)")
 		seed     = fs.Uint64("seed", 0, "simulation seed (0 = default)")
+		parallel = fs.Int("parallel", 0, "event-engine dispatch workers within one run (0 = serial); never affects results")
 	)
 	return func() syncron.Config {
 		if *units <= 0 {
@@ -135,12 +137,13 @@ func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string) {
 			STEntries:         *stSize,
 			FairnessThreshold: *fairness,
 			Seed:              *seed,
+			Parallelism:       *parallel,
 		}
 		if *cores != 0 {
 			cfg.CoresPerUnit = *cores / *units
 		}
 		return cfg
-	}, cores, topology
+	}, cores, topology, parallel
 }
 
 // parseTopologyList resolves a comma-separated -topology value.
@@ -168,7 +171,7 @@ func runCmd(args []string) {
 		jsonOut   = fs.String("json", "", "also write the result as JSON to this path (- = stdout, suppressing the report); byte-identical to the serve daemon's result for the same spec")
 		printSpec = fs.Bool("print-spec", false, "print the canonical RunSpec JSON and exit without simulating (the exact payload to POST to a serve daemon)")
 	)
-	cfg, _, topology := configFlags(fs)
+	cfg, _, topology, _ := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	spec := syncron.RunSpec{
@@ -297,6 +300,10 @@ func figureGridSpecs(quick bool) []syncron.RunSpec {
 var gridCompatibleFlags = map[string]bool{
 	"grid": true, "shard": true, "cache": true, "cache-only": true,
 	"fail-fast": true, "workers": true, "json": true, "csv": true,
+	// -parallel is an execution knob, not a spec axis: it is excluded from
+	// SpecKey and serialized output, so applying it to a canonical grid
+	// cannot perturb hashes or results.
+	"parallel": true,
 }
 
 func rejectFlagsWithGrid(fs *flag.FlagSet) {
@@ -333,7 +340,7 @@ func sweepCmd(args []string) {
 		cacheOnly = fs.Bool("cache-only", false, "forbid simulation; runs missing from -cache fail")
 		failFast  = fs.Bool("fail-fast", false, "cancel unstarted runs as soon as any run fails")
 	)
-	cfg, cores, topology := configFlags(fs)
+	cfg, cores, topology, parallel := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	runner := syncron.SpecRunner{
@@ -360,6 +367,11 @@ func sweepCmd(args []string) {
 		// sweep that also names axis or config flags would silently drop them.
 		rejectFlagsWithGrid(fs)
 		specs = figureGridSpecs(*grid == "figures-quick")
+		if *parallel != 0 {
+			for i := range specs {
+				specs[i].Config.Parallelism = *parallel
+			}
+		}
 		gridName = *grid
 	case "":
 		names := splitList(*workloads)
@@ -449,6 +461,7 @@ func figuresCmd(args []string) {
 		scale     = fs.Float64("scale", 0, "workload scale factor (0 = canonical default)")
 		topos     = fs.String("topologies", "", "comma-separated topologies for the interconnect sensitivity figure (empty = skip it)")
 		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS); never affects results")
+		parallel  = fs.Int("parallel", 0, "event-engine dispatch workers within one run (0 = serial); never affects results")
 		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
 		mdOut     = fs.String("md", "-", "Markdown output path (- = stdout)")
 		csvDir    = fs.String("csv-dir", "", "also write one <figure>.csv per figure into this directory")
@@ -469,13 +482,14 @@ func figuresCmd(args []string) {
 	}
 	cache := openCache(*cacheDir)
 	opt := syncron.FigureOptions{
-		Quick:      *quick,
-		Baseline:   base,
-		Scale:      *scale,
-		Workers:    *workers,
-		BaseSeed:   *baseSeed,
-		Topologies: parseTopologyList(*topos),
-		CacheOnly:  *fromDir != "",
+		Quick:       *quick,
+		Baseline:    base,
+		Scale:       *scale,
+		Workers:     *workers,
+		Parallelism: *parallel,
+		BaseSeed:    *baseSeed,
+		Topologies:  parseTopologyList(*topos),
+		CacheOnly:   *fromDir != "",
 	}
 	if cache != nil {
 		opt.Cache = cache

@@ -97,6 +97,10 @@ type FigureOptions struct {
 	// rendering with an error naming it. This is `figures -from DIR` — e.g.
 	// rendering from cache entries merged out of CI shard artifacts.
 	CacheOnly bool
+	// Parallelism selects the event engine's parallel dispatcher for every
+	// figure run (0 = serial). Like Workers it affects wall-clock time only,
+	// never results: figure output is byte-identical for every value.
+	Parallelism int
 	// BaseSeed is the single simulation seed shared by EVERY figure run
 	// (default 1). Sharing one seed — rather than deriving per-run seeds à
 	// la RunSpecs — guarantees all schemes and ST sizes simulate the
@@ -297,7 +301,7 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Schemes:   o.Schemes,
 			Params:    WorkloadParams{Scale: o.Scale},
 			Workers:   o.Workers,
-			Base:      Config{Seed: o.BaseSeed},
+			Base:      Config{Seed: o.BaseSeed, Parallelism: o.Parallelism},
 			Cache:     o.Cache,
 			CacheOnly: o.CacheOnly,
 		},
@@ -310,7 +314,7 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Units:     scalUnits,
 			Params:    WorkloadParams{Scale: o.Scale * 5},
 			Workers:   o.Workers,
-			Base:      Config{Seed: o.BaseSeed},
+			Base:      Config{Seed: o.BaseSeed, Parallelism: o.Parallelism},
 			Cache:     o.Cache,
 			CacheOnly: o.CacheOnly,
 		},
@@ -320,7 +324,7 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			STEntries: stSizes,
 			Params:    WorkloadParams{Scale: o.Scale},
 			Workers:   o.Workers,
-			Base:      Config{Seed: o.BaseSeed},
+			Base:      Config{Seed: o.BaseSeed, Parallelism: o.Parallelism},
 			Cache:     o.Cache,
 			CacheOnly: o.CacheOnly,
 		},
@@ -333,7 +337,7 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Topologies: o.Topologies,
 			Params:     WorkloadParams{Scale: o.Scale},
 			Workers:    o.Workers,
-			Base:       Config{Seed: o.BaseSeed},
+			Base:       Config{Seed: o.BaseSeed, Parallelism: o.Parallelism},
 			Cache:      o.Cache,
 			CacheOnly:  o.CacheOnly,
 		}

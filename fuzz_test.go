@@ -1,0 +1,117 @@
+package syncron_test
+
+import (
+	"reflect"
+	"testing"
+
+	"syncron"
+)
+
+// fuzzSpecs derives up to 64 valid specs from raw fuzz bytes: one spec per
+// byte, picking workload, scheme, unit count, and explicit-vs-derived seed
+// from its bits. Repeated bytes yield content-identical specs, which is a
+// feature — sharding is content-hashed, and identical specs must still land
+// in exactly one shard each by grid index.
+func fuzzSpecs(data []byte) []syncron.RunSpec {
+	workloads := []string{"stack", "queue", "lock", "barrier"}
+	schemes := []syncron.Scheme{
+		syncron.SchemeCentral, syncron.SchemeHier, syncron.SchemeSynCron, syncron.SchemeIdeal,
+	}
+	n := len(data)
+	if n > 64 {
+		n = 64
+	}
+	specs := make([]syncron.RunSpec, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i]
+		specs = append(specs, syncron.RunSpec{
+			Workload: workloads[int(b)%len(workloads)],
+			Config: syncron.Config{
+				Scheme: schemes[int(b>>2)%len(schemes)],
+				Units:  1 + int(b>>4)%4,
+				Seed:   uint64(b & 1), // 0 = derived by ResolveSeeds, 1 = explicit
+			},
+			Params: syncron.WorkloadParams{Scale: 0.1, OpsPerCore: 1 + int(b)%8},
+		})
+	}
+	return specs
+}
+
+// FuzzShardMerge drives the sharding pipeline — ResolveSeeds, Shard.Select,
+// MergeShards — with arbitrary grids, shard counts, and base seeds, and
+// asserts the invariants the CI shard workflow relies on: shards are
+// disjoint and exhaustive, selection preserves grid order, merging the shard
+// outputs in any order reassembles the exact grid, and duplicated or
+// incomplete shard sets are rejected.
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint8(4), uint64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(1), uint64(0), []byte{9})
+	f.Add(uint8(64), uint64(42), []byte("syncron"))
+	f.Add(uint8(0), uint64(7), []byte{255, 255, 0, 0, 128})
+	f.Fuzz(func(t *testing.T, nShards uint8, baseSeed uint64, data []byte) {
+		n := int(nShards)%16 + 1
+		specs := syncron.ResolveSeeds(fuzzSpecs(data), baseSeed)
+		for i, s := range specs {
+			if s.Config.Seed == 0 {
+				t.Fatalf("spec %d still has a zero seed after ResolveSeeds", i)
+			}
+		}
+
+		claimed := make([]int, len(specs))
+		shards := make([][]syncron.RunResult, n)
+		for s := 0; s < n; s++ {
+			idx := syncron.Shard{Index: s, Count: n}.Select(specs)
+			for k, i := range idx {
+				if k > 0 && idx[k-1] >= i {
+					t.Fatalf("shard %d/%d selection not in grid order: %v", s, n, idx)
+				}
+				if i < 0 || i >= len(specs) {
+					t.Fatalf("shard %d/%d selected out-of-range index %d", s, n, i)
+				}
+				claimed[i]++
+				shards[s] = append(shards[s], syncron.RunResult{Spec: specs[i], GridIndex: i})
+			}
+		}
+		for i, c := range claimed {
+			if c != 1 {
+				t.Fatalf("spec %d claimed by %d shards of %d (want exactly 1)", i, c, n)
+			}
+		}
+		if len(specs) == 0 {
+			return
+		}
+
+		// Merging the shard outputs in reverse order must reassemble the grid.
+		rev := make([][]syncron.RunResult, n)
+		for s := range shards {
+			rev[n-1-s] = shards[s]
+		}
+		merged, err := syncron.MergeShards(rev...)
+		if err != nil {
+			t.Fatalf("merging %d complete shards: %v", n, err)
+		}
+		if len(merged) != len(specs) {
+			t.Fatalf("merged %d results, want %d", len(merged), len(specs))
+		}
+		for i, r := range merged {
+			if r.GridIndex != i {
+				t.Fatalf("merged[%d] has grid index %d", i, r.GridIndex)
+			}
+			if !reflect.DeepEqual(r.Spec, specs[i]) {
+				t.Fatalf("merged[%d] spec diverged from grid spec:\ngot  %+v\nwant %+v", i, r.Spec, specs[i])
+			}
+		}
+
+		// A repeated result must be rejected as a duplicate grid index.
+		dup := append(append([]syncron.RunResult{}, merged...), merged[0])
+		if _, err := syncron.MergeShards(dup); err == nil {
+			t.Fatal("MergeShards accepted a duplicated result")
+		}
+		// Dropping one result from a >=2 grid leaves a top index out of range.
+		if len(merged) >= 2 {
+			if _, err := syncron.MergeShards(merged[1:]); err == nil {
+				t.Fatal("MergeShards accepted an incomplete shard set")
+			}
+		}
+	})
+}

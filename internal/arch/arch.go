@@ -37,6 +37,11 @@ type Config struct {
 
 	// Seed for all deterministic randomness in the simulation.
 	Seed uint64
+
+	// Parallelism selects the engine's parallel dispatcher with that many
+	// workers (0 = serial). Execution stays byte-identical either way; see
+	// sim.Engine.SetParallelism.
+	Parallelism int
 }
 
 // Default returns the paper's evaluated configuration: 4 NDP units with 15
@@ -97,6 +102,7 @@ type Machine struct {
 func NewMachine(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
 	eng := sim.NewEngine()
+	eng.SetParallelism(cfg.Parallelism)
 	coreClk := sim.NewClock(cfg.CoreMHz)
 	seClk := sim.NewClock(cfg.SEMHz)
 	ncfg := network.DefaultConfig(coreClk)

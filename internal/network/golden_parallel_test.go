@@ -1,0 +1,74 @@
+package network
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"syncron/internal/sim"
+)
+
+// goldenTraceEngine replays the exact transfer mix of goldenTrace, but as
+// discrete events on a sim.Engine running with the given parallel worker
+// count. Network transfers mutate shared Stats counters, so the events are
+// plain serial events (the model-layer contract under parallel execution);
+// the point is that the parallel dispatcher's round-based batching must run
+// them in exactly the serial (at, seq) order.
+func goldenTraceEngine(workers int) string {
+	const units = 4
+	net := newNet(units)
+	eng := sim.NewEngine()
+	eng.SetParallelism(workers)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	var b strings.Builder
+	t := sim.Time(0)
+	for i := 0; i < 600; i++ {
+		src := next(units)
+		dst := next(units)
+		var port int
+		switch next(3) {
+		case 0:
+			port = PortSE
+		case 1:
+			port = PortMemory
+		default:
+			port = PortCore(next(15))
+		}
+		bytes := []int{16, 18, 19, 64, 72}[next(5)]
+		t += sim.Time(next(2000))
+		eng.Schedule(t, func(at sim.Time) {
+			arr := net.Transfer(at, src, dst, port, bytes)
+			fmt.Fprintf(&b, "%d %d %d %d %d %d\n", src, dst, port, bytes, int64(at), int64(arr))
+		})
+	}
+	eng.Run()
+	fmt.Fprintf(&b, "intra %d inter %d\n", net.Stats.IntraBits.Value(), net.Stats.InterBits.Value())
+	return b.String()
+}
+
+// TestAllToAllGoldenTraceParallelEngine checks the engine-driven replay of
+// the AllToAll golden trace against the same golden file for every parallel
+// worker count: the parallel engine must reproduce the serial transfer
+// timing bit for bit.
+func TestAllToAllGoldenTraceParallelEngine(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			if got := goldenTraceEngine(workers); got != string(want) {
+				t.Fatalf("parallel engine (workers=%d) transfer trace deviates from golden (len got %d, want %d)",
+					workers, len(got), len(want))
+			}
+		})
+	}
+}

@@ -20,20 +20,28 @@ func (h Handle) Valid() bool { return h.slot != 0 }
 
 // slot lifecycle states.
 const (
-	slotFree uint8 = iota // on the freelist
-	slotHeap              // queued in the time-ordered heap
-	slotNow               // queued in the same-timestamp FIFO
-	slotDead              // cancelled; its queue entry is lazily removed
+	slotFree     uint8 = iota // on the freelist
+	slotHeap                  // queued in the time-ordered heap
+	slotNow                   // queued in the same-timestamp FIFO
+	slotDead                  // cancelled; its queue entry is lazily removed
+	slotBatch                 // drained into the current parallel batch (see parallel.go)
+	slotBuffered              // created by a worker mid-phase; not yet committed
 )
+
+// serialUnit marks an event with no owning unit: it is a barrier that the
+// parallel dispatcher executes alone on the engine goroutine.
+const serialUnit int32 = -1
 
 // eventSlot is the engine-owned storage for one scheduled event. Slots live
 // in a single arena and are recycled through a freelist, so steady-state
 // Schedule/run cycles perform no heap allocations.
 type eventSlot struct {
 	fn    func(Time)
+	ufn   UnitFunc // set instead of fn for unit-tagged events
 	at    Time
 	seq   uint64
 	gen   uint32
+	unit  int32 // owning unit, or serialUnit
 	state uint8
 }
 
@@ -76,6 +84,9 @@ type Engine struct {
 	stopped bool
 	dead    int // cancelled events still sitting in the heap
 
+	par  *parRuntime // non-nil selects the parallel dispatcher (SetParallelism)
+	sctx *UnitCtx    // lazily built direct-mode context for serial UnitFunc calls
+
 	// Executed counts events run since construction; useful in tests, as a
 	// runaway guard, and as the events/sec numerator of macro-benchmarks.
 	Executed uint64
@@ -108,6 +119,7 @@ func (e *Engine) alloc() int32 {
 func (e *Engine) freeSlot(i int32) {
 	s := &e.slots[i]
 	s.fn = nil
+	s.ufn = nil
 	s.gen++
 	s.state = slotFree
 	e.free = append(e.free, i)
@@ -131,6 +143,41 @@ func (e *Engine) Schedule(at Time, fn func(Time)) Handle {
 	s.fn = fn
 	s.at = at
 	s.seq = e.seq
+	s.unit = serialUnit
+	if at == e.now {
+		s.state = slotNow
+		e.nowQ = append(e.nowQ, i)
+	} else {
+		s.state = slotHeap
+		e.heapPush(heapEntry{at: at, seq: e.seq, slot: i})
+	}
+	return Handle{slot: i + 1, gen: s.gen}
+}
+
+// ScheduleUnit runs fn at time at on behalf of unit. Events of the same unit
+// never execute concurrently with each other and always execute in (at, seq)
+// order; events of different units sharing a timestamp may execute
+// concurrently under the parallel dispatcher (SetParallelism). A negative
+// unit makes the event a serial barrier, exactly like Schedule.
+//
+// fn receives a UnitCtx whose Schedule/Cancel are the only engine calls a
+// unit-tagged callback may make: under the parallel dispatcher they buffer
+// side effects per worker and commit them in deterministic order. Calling
+// methods on the Engine itself from a unit-tagged callback is a data race.
+func (e *Engine) ScheduleUnit(at Time, unit int, fn UnitFunc) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if unit < 0 {
+		unit = int(serialUnit)
+	}
+	e.seq++
+	i := e.alloc()
+	s := &e.slots[i]
+	s.ufn = fn
+	s.at = at
+	s.seq = e.seq
+	s.unit = int32(unit)
 	if at == e.now {
 		s.state = slotNow
 		e.nowQ = append(e.nowQ, i)
@@ -173,6 +220,12 @@ func (e *Engine) Cancel(h Handle) {
 	case slotNow:
 		// Same-timestamp events drain within the current timestep; lazy
 		// removal on pop is enough.
+		s.state = slotDead
+	case slotBatch, slotBuffered:
+		// The event sits in the parallel dispatcher's current batch (or was
+		// buffered by a worker this phase). Only the engine goroutine reaches
+		// here — a serial barrier cancelling a later same-timestamp event —
+		// and the dispatcher honors slotDead before running or committing it.
 		s.state = slotDead
 	}
 }
@@ -272,6 +325,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // MaxEvents runaway guard — hold on every dispatch path. Each iteration pops
 // the global minimum of the heap and the same-timestamp FIFO by (at, seq).
 func (e *Engine) dispatch(deadline Time, bounded bool) Time {
+	if e.par != nil {
+		return e.dispatchParallel(deadline, bounded)
+	}
 	e.stopped = false
 	for !e.stopped {
 		useNow := e.nowHead < len(e.nowQ)
@@ -312,7 +368,7 @@ func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 			e.freeSlot(slot)
 			continue
 		}
-		fn := s.fn
+		fn, ufn := s.fn, s.ufn
 		// Recycle before running: a callback that immediately reschedules (the
 		// common zero-delay handoff) reuses the slot it just vacated.
 		e.freeSlot(slot)
@@ -321,7 +377,20 @@ func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 		if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
 		}
-		fn(at)
+		if ufn != nil {
+			ufn(e.serialCtx(), at)
+		} else {
+			fn(at)
+		}
 	}
 	return e.now
+}
+
+// serialCtx returns the engine's direct-mode UnitCtx, under which unit-tagged
+// callbacks executing serially forward Schedule/Cancel straight to the engine.
+func (e *Engine) serialCtx() *UnitCtx {
+	if e.sctx == nil {
+		e.sctx = &UnitCtx{e: e}
+	}
+	return e.sctx
 }

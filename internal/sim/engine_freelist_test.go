@@ -102,35 +102,8 @@ func TestCancelZeroHandleAndForeignHandle(t *testing.T) {
 	}
 }
 
-// Zero-delay events (the nowQ fast path) must interleave with heap events at
-// the same timestamp in global (at, seq) order.
-func TestZeroDelayFastPathOrdering(t *testing.T) {
-	e := NewEngine()
-	var order []int
-	e.Schedule(10, func(Time) {
-		order = append(order, 1)
-		// Zero-delay self-schedules: must run after every event already
-		// queued at t=10, in scheduling order.
-		e.Schedule(10, func(Time) { order = append(order, 4) })
-		e.Schedule(10, func(Time) {
-			order = append(order, 5)
-			e.Schedule(10, func(Time) { order = append(order, 6) })
-		})
-	})
-	e.Schedule(10, func(Time) { order = append(order, 2) })
-	e.Schedule(10, func(Time) { order = append(order, 3) })
-	e.Schedule(20, func(Time) { order = append(order, 7) })
-	e.Run()
-	want := []int{1, 2, 3, 4, 5, 6, 7}
-	if len(order) != len(want) {
-		t.Fatalf("ran %d events, want %d: %v", len(order), len(want), order)
-	}
-	for i := range want {
-		if order[i] != want[i] {
-			t.Fatalf("order = %v, want %v", order, want)
-		}
-	}
-}
+// TestZeroDelayFastPathOrdering lives in engine_order_test.go (package
+// sim_test) so it can share the simtest.CheckOrder invariant checker.
 
 func TestZeroDelayCancel(t *testing.T) {
 	e := NewEngine()

@@ -1,0 +1,167 @@
+package sim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"syncron/internal/sim"
+	"syncron/internal/sim/simtest"
+)
+
+// fuzzUnit is the per-unit state of the fuzz interpreter. Every field is
+// touched only by events tagged with this unit (same unit -> same worker
+// under parallel dispatch), so the program is race-free by the engine's
+// partitioning contract.
+type fuzzUnit struct {
+	id      int
+	stream  []byte // this unit's private slice of the fuzz input
+	pos     int
+	ran     uint64 // per-unit execution counter, folded into the log
+	log     strings.Builder
+	handles []fuzzHandle
+}
+
+type fuzzHandle struct {
+	h    sim.Handle
+	at   sim.Time
+	unit int
+}
+
+// runFuzzProgram interprets data as a deterministic schedule/cancel program:
+// byte 0 picks the unit count, the rest is split round-robin into private
+// per-unit instruction streams. Each unit runs a chain of events, one
+// instruction per event — scheduling same-unit leaves (future and
+// zero-delay), cross-unit leaves, committed serial barriers, and cancels of
+// previously recorded handles (restricted to same-unit targets or
+// strictly-future cross-unit targets, the combinations the parallel engine
+// defines). It returns a fingerprint of every observable — per-unit
+// execution logs, the barrier log, the end time — plus the executed-event
+// count. rec, when non-nil, additionally records global execution order for
+// simtest.CheckOrder; pass it only for serial runs (ids are assigned through
+// shared state).
+func runFuzzProgram(data []byte, parallelism int, rec *simtest.Recorder) (string, uint64) {
+	e := sim.NewEngine()
+	e.SetParallelism(parallelism)
+	e.MaxEvents = 1 << 20 // diagnose a runaway interpreter instead of hanging
+	nUnits := 1 + int(data[0])%6
+	units := make([]*fuzzUnit, nUnits)
+	for i := range units {
+		units[i] = &fuzzUnit{id: i}
+	}
+	for i, b := range data[1:] {
+		u := units[i%nUnits]
+		u.stream = append(u.stream, b)
+	}
+
+	var serialLog strings.Builder
+	var schedID uint64
+	// nextSched assigns schedule-order ids for the CheckOrder pass. Worker
+	// goroutines must not share a counter, so parallel runs (rec == nil)
+	// skip the assignment entirely.
+	nextSched := func() uint64 {
+		if rec == nil {
+			return 0
+		}
+		schedID++
+		return schedID
+	}
+	observe := func(u *fuzzUnit, at sim.Time, id uint64) {
+		u.ran++
+		fmt.Fprintf(&u.log, "%d@%d ", u.ran, int64(at))
+		if rec != nil {
+			rec.Observe(at, id)
+		}
+	}
+	leaf := func(u *fuzzUnit) sim.UnitFunc {
+		id := nextSched()
+		return func(_ *sim.UnitCtx, at sim.Time) { observe(u, at, id) }
+	}
+	var step func(u *fuzzUnit) sim.UnitFunc
+	step = func(u *fuzzUnit) sim.UnitFunc {
+		id := nextSched()
+		return func(ctx *sim.UnitCtx, at sim.Time) {
+			observe(u, at, id)
+			if u.pos >= len(u.stream) {
+				return // stream dry: this unit's chain ends
+			}
+			c := u.stream[u.pos]
+			u.pos++
+			arg := int(c >> 3)
+			switch c % 8 {
+			case 0, 1: // same-unit future leaf
+				d := sim.Time(1 + arg%5)
+				h := ctx.Schedule(at+d, u.id, leaf(u))
+				u.handles = append(u.handles, fuzzHandle{h, at + d, u.id})
+			case 2: // same-unit zero-delay leaf (same batch, later segment)
+				h := ctx.Schedule(at, u.id, leaf(u))
+				u.handles = append(u.handles, fuzzHandle{h, at, u.id})
+			case 3: // cross-unit leaf, delay 0..3
+				v := units[(u.id+1+arg)%nUnits]
+				d := sim.Time(arg % 4)
+				h := ctx.Schedule(at+d, v.id, leaf(v))
+				u.handles = append(u.handles, fuzzHandle{h, at + d, v.id})
+			case 4: // committed serial barrier
+				ctx.Schedule(at+sim.Time(1+arg%3), -1, func(_ *sim.UnitCtx, bat sim.Time) {
+					fmt.Fprintf(&serialLog, "b@%d ", int64(bat))
+				})
+			case 5: // cancel the oldest handle that is safe to cancel
+				for k, hh := range u.handles {
+					if hh.unit == u.id || hh.at > at {
+						ctx.Cancel(hh.h)
+						u.handles = append(u.handles[:k], u.handles[k+1:]...)
+						break
+					}
+				}
+			case 6: // schedule-then-cancel, resolved worker-locally
+				h := ctx.Schedule(at+1, u.id, leaf(u))
+				ctx.Cancel(h)
+			default: // 7: nop
+			}
+			ctx.Schedule(at+1, u.id, step(u))
+		}
+	}
+
+	for i, u := range units {
+		e.ScheduleUnit(sim.Time(1+i), u.id, step(u))
+	}
+	end := e.Run()
+
+	var fp strings.Builder
+	for _, u := range units {
+		fmt.Fprintf(&fp, "[u%d %s] ", u.id, u.log.String())
+	}
+	fmt.Fprintf(&fp, "| %s | end=%d", serialLog.String(), int64(end))
+	return fp.String(), e.Executed
+}
+
+// FuzzEngineScheduleCancel feeds random schedule/cancel programs through the
+// serial and parallel dispatchers and requires identical fingerprints and
+// executed-event counts, plus global (at, seq) execution order in serial
+// mode. It is the fuzz-shaped version of TestParallelScriptEquivalence:
+// instead of an RNG script, the adversary is the fuzzer.
+func FuzzEngineScheduleCancel(f *testing.F) {
+	f.Add([]byte{3, 0, 8, 16, 24, 32, 40, 48, 5, 13, 21, 29, 37, 45, 53, 61})
+	f.Add([]byte{1, 2, 2, 2, 5, 5, 6, 4})
+	f.Add([]byte{5, 3, 11, 19, 27, 35, 43, 51, 59, 4, 12, 20, 5, 5, 5})
+	f.Add([]byte{0})
+	f.Add([]byte{2, 6, 6, 6, 2, 2, 5, 5, 4, 4, 3, 3, 3, 7, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 2048 {
+			t.Skip()
+		}
+		rec := &simtest.Recorder{}
+		serialFP, serialExec := runFuzzProgram(data, 0, rec)
+		rec.Check(t)
+		for _, w := range []int{1, 2, 4} {
+			fp, exec := runFuzzProgram(data, w, nil)
+			if fp != serialFP {
+				t.Fatalf("workers=%d fingerprint diverges from serial\nserial:   %s\nparallel: %s",
+					w, serialFP, fp)
+			}
+			if exec != serialExec {
+				t.Fatalf("workers=%d executed %d events, serial executed %d", w, exec, serialExec)
+			}
+		}
+	})
+}

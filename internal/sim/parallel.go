@@ -1,0 +1,526 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Parallel dispatch.
+//
+// The parallel dispatcher executes one simulated timestamp per round: it
+// drains every event sharing the next timestamp into a batch (in global
+// (at, seq) order), splits the batch into serial barriers (unit < 0 — every
+// event produced by plain Schedule) and runs of unit-tagged events, and
+// executes each unit-tagged run on a pool of worker goroutines, partitioned
+// by unit. Determinism is preserved by construction:
+//
+//   - Events of one unit always land on the same worker (unit % workers) and
+//     appear in its task slice in seq order, so per-unit execution order is
+//     the serial order.
+//   - Workers never touch engine state directly. A worker-side UnitCtx
+//     buffers Schedule/Cancel calls, tagging each with (parentSeq, opIdx) —
+//     the seq of the event that made the call and the call's position within
+//     that event. After the phase, the engine commits all buffered ops sorted
+//     by that key, which is exactly the order the serial dispatcher would
+//     have observed the calls in, so every new event receives the same seq
+//     number it would have received serially.
+//   - Serial barriers run alone on the engine goroutine between phases, with
+//     full access to the engine, in seq order relative to both neighbors.
+//
+// The one serial behavior that cannot be reproduced is an event cancelling a
+// same-timestamp event of a *different* unit: serially the target (larger
+// seq) would never run, in parallel it may already have run on another
+// worker. The commit path detects exactly this case — a committed Cancel
+// whose target is still in the current batch with a seq greater than the
+// cancelling event's — and panics, so the contract violation can never
+// silently diverge. Same-unit same-timestamp cancels are legal and resolved
+// worker-locally.
+
+// UnitFunc is the callback type of unit-tagged events (ScheduleUnit). It
+// receives the context through which it must make all engine calls, and its
+// own timestamp.
+type UnitFunc func(ctx *UnitCtx, at Time)
+
+// UnitCtx is a unit-tagged callback's window onto the engine. In direct mode
+// (serial dispatcher, or a serial barrier under the parallel dispatcher) the
+// calls forward to the engine immediately; on a worker they are buffered and
+// committed in deterministic (parentSeq, opIdx) order after the phase.
+type UnitCtx struct {
+	e *Engine
+	w *parWorker // nil in direct mode
+
+	parentSeq uint64 // seq of the currently running event
+	opIdx     int32  // calls made so far by the currently running event
+	task      []batchEntry
+	taskPos   int
+}
+
+// Now returns the current simulation time (the running event's timestamp
+// batch). Safe on workers: the engine goroutine does not advance the clock
+// during a phase.
+func (c *UnitCtx) Now() Time { return c.e.now }
+
+// Schedule queues fn at time at on behalf of unit (negative unit = serial
+// barrier), exactly like Engine.ScheduleUnit. On a worker the event is
+// buffered and becomes visible (and its seq assigned) at commit; the returned
+// Handle is valid immediately.
+func (c *UnitCtx) Schedule(at Time, unit int, fn UnitFunc) Handle {
+	if c.w == nil {
+		return c.e.ScheduleUnit(at, unit, fn)
+	}
+	e := c.e
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if unit < 0 {
+		unit = int(serialUnit)
+	}
+	p := e.par
+	p.mu.Lock()
+	i := e.alloc()
+	s := &e.slots[i]
+	s.ufn = fn
+	s.at = at
+	s.unit = int32(unit)
+	s.state = slotBuffered
+	h := Handle{slot: i + 1, gen: s.gen}
+	p.mu.Unlock()
+	c.w.ops = append(c.w.ops, bufOp{parentSeq: c.parentSeq, opIdx: c.opIdx, slot: i, gen: h.gen})
+	c.opIdx++
+	return h
+}
+
+// After queues fn d after the current time; see Schedule.
+func (c *UnitCtx) After(d Time, unit int, fn UnitFunc) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return c.Schedule(c.e.now+d, unit, fn)
+}
+
+// Cancel marks the event named by h so it will not run. All of Engine.Cancel's
+// no-op guarantees hold. A same-unit target in the current batch is skipped
+// immediately (it runs on this worker, later in this task); any other target
+// is buffered and resolved at commit — where cancelling a same-timestamp
+// event of a different unit is rejected, see the package comment above.
+func (c *UnitCtx) Cancel(h Handle) {
+	if c.w == nil {
+		c.e.Cancel(h)
+		return
+	}
+	if h.slot == 0 {
+		return
+	}
+	cur := &c.task[c.taskPos]
+	for k := range c.task {
+		en := &c.task[k]
+		if en.slot != h.slot-1 || en.gen != h.gen {
+			continue
+		}
+		if en.unit != cur.unit {
+			break // cross-unit same-batch target: defer to commit, which rejects true divergence
+		}
+		if k > c.taskPos {
+			en.skip = true
+		}
+		return // earlier same-unit target already ran — serially it would have too
+	}
+	c.w.ops = append(c.w.ops, bufOp{
+		parentSeq: c.parentSeq, opIdx: c.opIdx, cancel: true, h: h, parentUnit: cur.unit,
+	})
+	c.opIdx++
+}
+
+// batchEntry is one drained event of the current timestamp. It copies
+// everything a worker needs, so workers never read the slot arena.
+type batchEntry struct {
+	fn   func(Time)
+	ufn  UnitFunc
+	at   Time
+	seq  uint64
+	unit int32
+	slot int32
+	gen  uint32
+	skip bool // cancelled; do not run
+}
+
+// bufOp is one buffered worker-side Schedule or Cancel, keyed for the
+// deterministic commit order.
+type bufOp struct {
+	parentSeq  uint64
+	opIdx      int32
+	cancel     bool
+	slot       int32  // Schedule: the pre-allocated slot to enqueue
+	gen        uint32 // Schedule: its generation at buffering time
+	h          Handle // Cancel: the target
+	parentUnit int32  // Cancel: unit of the cancelling event
+}
+
+// parRuntime is the engine's parallel-mode state. Workers are started on
+// entry to a Run/RunUntil and stopped when it returns, persisting across all
+// rounds of the run.
+type parRuntime struct {
+	workers int
+	ws      []*parWorker
+	wg      sync.WaitGroup
+	mu      sync.Mutex // guards the slot arena while workers buffer Schedules
+
+	batch  []batchEntry // reused round-to-round
+	commit []bufOp      // reused merge buffer for ordered commits
+
+	pmu      sync.Mutex
+	panicVal any // first worker panic, re-raised on the engine goroutine
+}
+
+type parWorker struct {
+	e    *Engine
+	in   chan []batchEntry
+	task []batchEntry // partition buffer, reused
+	ops  []bufOp      // buffered side effects of the current phase
+	ran  uint64       // events executed (not skipped) this phase
+	ctx  UnitCtx
+}
+
+// SetParallelism selects the dispatcher: n >= 1 executes unit-tagged
+// same-timestamp events on n worker goroutines (n == 1 still exercises the
+// full batch/commit protocol on one worker); n <= 0 restores the serial
+// dispatcher, today's exact behavior. For any n, the executed event stream is
+// byte-identical to serial execution. Must not be called while Run or
+// RunUntil is executing.
+func (e *Engine) SetParallelism(n int) {
+	if n <= 0 {
+		e.par = nil
+		return
+	}
+	e.par = &parRuntime{workers: n}
+}
+
+// Parallelism returns the worker count set by SetParallelism, or 0 when the
+// serial dispatcher is active.
+func (e *Engine) Parallelism() int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.workers
+}
+
+// dispatchParallel is the round-based event loop: one timestamp per
+// iteration, batched, split into serial barriers and worker phases.
+func (e *Engine) dispatchParallel(deadline Time, bounded bool) Time {
+	e.stopped = false
+	p := e.par
+	p.startWorkers(e)
+	defer p.stopWorkers()
+	for !e.stopped {
+		var tNext Time
+		switch {
+		case e.nowHead < len(e.nowQ):
+			tNext = e.now // the FIFO only ever holds events at the current time
+		case len(e.heap) > 0:
+			tNext = e.heap[0].at
+		default:
+			return e.now
+		}
+		if bounded && tNext > deadline {
+			return e.now
+		}
+		batch := e.collectBatch(tNext)
+		if len(batch) == 0 {
+			continue // every event at tNext was cancelled
+		}
+		e.now = tNext
+		if !e.runBatch(batch) {
+			return e.now // Stop() during the batch; remainder re-queued
+		}
+	}
+	return e.now
+}
+
+// collectBatch drains every live event with timestamp t from the FIFO and the
+// heap, in global (at, seq) order, marking their slots slotBatch.
+func (e *Engine) collectBatch(t Time) []batchEntry {
+	batch := e.par.batch[:0]
+	for {
+		useNow := e.nowHead < len(e.nowQ)
+		heapOK := len(e.heap) > 0 && e.heap[0].at == t
+		if useNow && heapOK {
+			ns := &e.slots[e.nowQ[e.nowHead]]
+			if entryLess(e.heap[0], heapEntry{at: ns.at, seq: ns.seq}) {
+				useNow = false
+			}
+		}
+		var slot int32
+		switch {
+		case useNow:
+			slot = e.nowQ[e.nowHead]
+			e.nowHead++
+			if e.nowHead == len(e.nowQ) {
+				e.nowQ = e.nowQ[:0]
+				e.nowHead = 0
+			}
+		case heapOK:
+			slot = e.heapPop().slot
+			if e.slots[slot].state == slotDead {
+				e.dead--
+				e.freeSlot(slot)
+				continue
+			}
+		default:
+			e.par.batch = batch
+			return batch
+		}
+		s := &e.slots[slot]
+		if s.state == slotDead {
+			e.freeSlot(slot)
+			continue
+		}
+		s.state = slotBatch
+		batch = append(batch, batchEntry{
+			fn: s.fn, ufn: s.ufn, at: s.at, seq: s.seq,
+			unit: s.unit, slot: slot, gen: s.gen,
+		})
+	}
+}
+
+// runBatch executes one timestamp's batch: serial barriers alone on this
+// goroutine, maximal runs of unit-tagged events as worker phases. Returns
+// false if a barrier called Stop (the unexecuted remainder is re-queued).
+func (e *Engine) runBatch(batch []batchEntry) bool {
+	i := 0
+	for i < len(batch) {
+		if batch[i].unit < 0 {
+			e.runBarrier(&batch[i])
+			i++
+			if e.stopped {
+				e.requeueBatch(batch[i:])
+				return false
+			}
+			continue
+		}
+		j := i + 1
+		for j < len(batch) && batch[j].unit >= 0 {
+			j++
+		}
+		e.runPhase(batch[i:j])
+		i = j
+	}
+	return true
+}
+
+// runBarrier executes one serial batch entry with full engine access,
+// mirroring the serial dispatcher's free-then-run recycling.
+func (e *Engine) runBarrier(en *batchEntry) {
+	if e.slots[en.slot].state == slotDead {
+		e.freeSlot(en.slot)
+		return
+	}
+	e.freeSlot(en.slot)
+	e.Executed++
+	if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+	}
+	if en.ufn != nil {
+		en.ufn(e.serialCtx(), en.at)
+	} else {
+		en.fn(en.at)
+	}
+}
+
+// runPhase executes one maximal run of unit-tagged entries on the worker
+// pool, then commits their buffered side effects in deterministic order.
+func (e *Engine) runPhase(seg []batchEntry) {
+	p := e.par
+	// Honor cancellations made by earlier barriers in this batch.
+	for k := range seg {
+		if e.slots[seg[k].slot].state == slotDead {
+			seg[k].skip = true
+		}
+	}
+	for _, w := range p.ws {
+		w.task = w.task[:0]
+		w.ops = w.ops[:0]
+		w.ran = 0
+	}
+	for k := range seg {
+		w := p.ws[int(seg[k].unit)%len(p.ws)]
+		w.task = append(w.task, seg[k])
+	}
+	p.panicVal = nil
+	for _, w := range p.ws {
+		if len(w.task) == 0 {
+			continue
+		}
+		p.wg.Add(1)
+		w.in <- w.task
+	}
+	p.wg.Wait()
+	if p.panicVal != nil {
+		panic(p.panicVal)
+	}
+	e.commitOps()
+	var ran uint64
+	for _, w := range p.ws {
+		ran += w.ran
+	}
+	for k := range seg {
+		e.freeSlot(seg[k].slot) // slotBatch (ran or skipped) or slotDead
+	}
+	e.Executed += ran
+	if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+	}
+}
+
+// commitOps applies every worker-buffered Schedule/Cancel in (parentSeq,
+// opIdx) order — the order the serial dispatcher would have executed the
+// calls in — assigning seq numbers identical to serial execution.
+func (e *Engine) commitOps() {
+	p := e.par
+	buf := p.commit[:0]
+	for _, w := range p.ws {
+		buf = append(buf, w.ops...)
+	}
+	p.commit = buf
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].parentSeq != buf[j].parentSeq {
+			return buf[i].parentSeq < buf[j].parentSeq
+		}
+		return buf[i].opIdx < buf[j].opIdx
+	})
+	for _, op := range buf {
+		if op.cancel {
+			e.cancelCommitted(op.h, op.parentSeq, op.parentUnit)
+			continue
+		}
+		// Serial execution would have assigned this schedule the next seq at
+		// this very point; consume it even if the event was cancelled while
+		// buffered, so the numbering never drifts from serial.
+		e.seq++
+		s := &e.slots[op.slot]
+		if s.gen != op.gen || s.state != slotBuffered {
+			if s.gen == op.gen && s.state == slotDead {
+				e.freeSlot(op.slot)
+			}
+			continue
+		}
+		s.seq = e.seq
+		if s.at == e.now {
+			s.state = slotNow
+			e.nowQ = append(e.nowQ, op.slot)
+		} else {
+			s.state = slotHeap
+			e.heapPush(heapEntry{at: s.at, seq: s.seq, slot: op.slot})
+		}
+	}
+}
+
+// cancelCommitted is Engine.Cancel for worker-buffered cancels, applied at
+// commit time. The slotBatch case is the divergence detector: a cross-unit
+// target still in the current batch with a larger seq than the cancelling
+// event would not have run serially, but may already have run here — that is
+// the cross-unit same-timestamp cancel the parallel contract forbids. A
+// same-unit target in the batch can only be here if it sits in a later phase
+// of the batch (same-phase targets resolve worker-locally), so it has not run
+// yet and is safely marked dead.
+func (e *Engine) cancelCommitted(h Handle, parentSeq uint64, parentUnit int32) {
+	if h.slot <= 0 || int(h.slot) > len(e.slots) {
+		return
+	}
+	i := h.slot - 1
+	s := &e.slots[i]
+	if s.gen != h.gen {
+		return
+	}
+	switch s.state {
+	case slotHeap:
+		s.state = slotDead
+		e.dead++
+		if e.dead > len(e.heap)/2 && len(e.heap) >= minCompactLen {
+			e.compact()
+		}
+	case slotNow, slotBuffered:
+		s.state = slotDead
+	case slotBatch:
+		if s.unit == parentUnit {
+			s.state = slotDead // later phase of this batch; skip-refresh honors it
+			return
+		}
+		if s.seq > parentSeq {
+			panic(fmt.Sprintf(
+				"sim: event seq=%d cancelled same-timestamp event seq=%d of another unit at t=%v; "+
+					"cross-unit same-timestamp cancels are nondeterministic under parallel execution — "+
+					"issue the cancel from a serial event or from the target's own unit", parentSeq, s.seq, e.now))
+		}
+		// Cross-unit target that ran before the canceller serially too: no-op.
+	}
+}
+
+// requeueBatch pushes the unexecuted tail of a stopped batch back onto the
+// heap (their (at, seq) keys are unchanged, so a later Run resumes exactly
+// where serial execution would).
+func (e *Engine) requeueBatch(rest []batchEntry) {
+	for k := range rest {
+		en := &rest[k]
+		s := &e.slots[en.slot]
+		if s.state == slotDead {
+			e.freeSlot(en.slot)
+			continue
+		}
+		s.state = slotHeap
+		e.heapPush(heapEntry{at: en.at, seq: en.seq, slot: en.slot})
+	}
+}
+
+func (p *parRuntime) startWorkers(e *Engine) {
+	if p.ws != nil {
+		return
+	}
+	p.ws = make([]*parWorker, p.workers)
+	for i := range p.ws {
+		w := &parWorker{e: e, in: make(chan []batchEntry)}
+		w.ctx = UnitCtx{e: e, w: w}
+		p.ws[i] = w
+		go w.loop()
+	}
+}
+
+func (p *parRuntime) stopWorkers() {
+	for _, w := range p.ws {
+		close(w.in)
+	}
+	p.ws = nil
+}
+
+func (w *parWorker) loop() {
+	for task := range w.in {
+		w.runTask(task)
+		w.e.par.wg.Done()
+	}
+}
+
+func (w *parWorker) runTask(task []batchEntry) {
+	defer func() {
+		if r := recover(); r != nil {
+			p := w.e.par
+			p.pmu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+			}
+			p.pmu.Unlock()
+		}
+	}()
+	ctx := &w.ctx
+	ctx.task = task
+	for k := range task {
+		en := &task[k]
+		if en.skip {
+			continue
+		}
+		ctx.taskPos = k
+		ctx.parentSeq = en.seq
+		ctx.opIdx = 0
+		w.ran++
+		en.ufn(ctx, en.at)
+	}
+}

@@ -1,0 +1,397 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"syncron/internal/sim"
+	"syncron/internal/sim/simtest"
+)
+
+// parallelWorkerCounts is the grid every serial-vs-parallel equivalence test
+// runs over. 1 exercises the full batch/commit protocol without concurrency;
+// the rest shuffle units across workers in different ways.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// TestParallelBasicEquivalence runs a small mixed serial/unit-tagged event
+// program and requires the executed stream to be identical to serial under
+// every worker count.
+func TestParallelBasicEquivalence(t *testing.T) {
+	build := func(e *sim.Engine) *simtest.Recorder {
+		rec := &simtest.Recorder{}
+		// Unit-tagged events observe through zero-delay serial barriers, so
+		// every append to the recorder happens on the engine goroutine, and
+		// the recorded sequence is the committed global order.
+		for u := 0; u < 5; u++ {
+			u := u
+			var tick sim.UnitFunc
+			tick = func(ctx *sim.UnitCtx, at sim.Time) {
+				ctx.Schedule(at, -1, func(_ *sim.UnitCtx, at sim.Time) {
+					rec.Observe(at, uint64(u)<<32|uint64(len(rec.Events)))
+				})
+				if at < 100 {
+					ctx.After(sim.Time(7+u), u, tick)
+				}
+			}
+			e.ScheduleUnit(sim.Time(u+1), u, tick)
+		}
+		e.Schedule(55, func(at sim.Time) { rec.Observe(at, 1<<40) })
+		return rec
+	}
+
+	serial := sim.NewEngine()
+	sref := build(serial)
+	end := serial.Run()
+
+	for _, w := range parallelWorkerCounts {
+		e := sim.NewEngine()
+		e.SetParallelism(w)
+		rec := build(e)
+		if got := e.Run(); got != end {
+			t.Fatalf("workers=%d: final time %v, want %v", w, got, end)
+		}
+		if e.Executed != serial.Executed {
+			t.Fatalf("workers=%d: executed %d events, serial executed %d", w, e.Executed, serial.Executed)
+		}
+		if !reflect.DeepEqual(rec.Events, sref.Events) {
+			t.Fatalf("workers=%d: event stream diverged from serial\nparallel: %v\nserial:   %v",
+				w, rec.Events, sref.Events)
+		}
+	}
+}
+
+// scriptState is a deterministic randomized event program that runs
+// identically under any dispatcher: every decision comes from per-unit RNGs
+// consumed in per-unit execution order, every mutation is confined to its
+// unit (or to barrier events on the engine goroutine), and cross-unit cancels
+// only target strictly-future events, as the parallel contract requires.
+type scriptState struct {
+	units     []scriptUnit
+	serialLog []simtest.Event
+}
+
+type scriptUnit struct {
+	id      int
+	rng     *sim.RNG
+	nextID  uint64
+	log     []simtest.Event
+	handles []scriptHandle
+}
+
+type scriptHandle struct {
+	h    sim.Handle
+	at   sim.Time
+	unit int
+}
+
+// buildScript schedules roots for n units; each event may schedule future
+// same-unit/cross-unit/zero-delay events, spawn serial barriers, and cancel
+// previously created events, down to the given depth.
+func buildScript(e *sim.Engine, n int, depth int, seed uint64) *scriptState {
+	st := &scriptState{units: make([]scriptUnit, n)}
+	var step func(u *scriptUnit, d int) sim.UnitFunc
+	step = func(u *scriptUnit, d int) sim.UnitFunc {
+		return func(ctx *sim.UnitCtx, at sim.Time) {
+			u.nextID++
+			u.log = append(u.log, simtest.Event{At: at, Seq: u.nextID})
+			if d <= 0 {
+				return
+			}
+			r := u.rng.Intn(100)
+			// Future same-unit event (always; keeps the script alive).
+			dd := sim.Time(1 + u.rng.Intn(5))
+			h := ctx.After(dd, u.id, step(u, d-1))
+			u.handles = append(u.handles, scriptHandle{h: h, at: at + dd, unit: u.id})
+			if r < 40 {
+				// Zero-delay same-unit event: lands in the next round of the
+				// same timestamp.
+				h := ctx.Schedule(at, u.id, step(u, d-1))
+				u.handles = append(u.handles, scriptHandle{h: h, at: at, unit: u.id})
+			}
+			if r < 30 {
+				// Future cross-unit event.
+				v := (u.id + 1 + u.rng.Intn(len(st.units)-1)) % len(st.units)
+				dd := sim.Time(2 + u.rng.Intn(4))
+				h := ctx.After(dd, v, step(&st.units[v], d-1))
+				u.handles = append(u.handles, scriptHandle{h: h, at: at + dd, unit: v})
+			}
+			if r < 20 {
+				// Serial barrier observing global order.
+				id := uint64(u.id)<<32 | u.nextID
+				ctx.After(sim.Time(u.rng.Intn(3)), -1, func(_ *sim.UnitCtx, at sim.Time) {
+					st.serialLog = append(st.serialLog, simtest.Event{At: at, Seq: id})
+				})
+			}
+			if r < 50 && len(u.handles) > 0 {
+				// Cancel something this unit created: same-unit targets are
+				// always legal (including same-timestamp); cross-unit targets
+				// only while they are strictly in the future.
+				k := u.rng.Intn(len(u.handles))
+				rec := u.handles[k]
+				if rec.unit == u.id || rec.at > at {
+					ctx.Cancel(rec.h)
+				}
+			}
+		}
+	}
+	for i := range st.units {
+		u := &st.units[i]
+		u.id = i
+		u.rng = sim.NewRNG(seed + uint64(i)*0x9e3779b97f4a7c15)
+		e.ScheduleUnit(sim.Time(1+i%7), i, step(u, depth))
+	}
+	return st
+}
+
+func (st *scriptState) fingerprint() string {
+	var b strings.Builder
+	for i := range st.units {
+		fmt.Fprintf(&b, "unit %d:", i)
+		for _, ev := range st.units[i].log {
+			fmt.Fprintf(&b, " %d@%d", ev.Seq, int64(ev.At))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("serial:")
+	for _, ev := range st.serialLog {
+		fmt.Fprintf(&b, " %d@%d", ev.Seq, int64(ev.At))
+	}
+	return b.String()
+}
+
+// TestParallelScriptEquivalence is the randomized metamorphic check: the same
+// scripted program must produce identical per-unit logs, barrier log,
+// Executed count, and final time under serial and parallel dispatch at every
+// worker count.
+func TestParallelScriptEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234567} {
+		serial := sim.NewEngine()
+		sref := buildScript(serial, 8, 6, seed)
+		end := serial.Run()
+		want := sref.fingerprint()
+		for _, w := range parallelWorkerCounts {
+			e := sim.NewEngine()
+			e.SetParallelism(w)
+			st := buildScript(e, 8, 6, seed)
+			if got := e.Run(); got != end {
+				t.Fatalf("seed=%d workers=%d: final time %v, want %v", seed, w, got, end)
+			}
+			if e.Executed != serial.Executed {
+				t.Fatalf("seed=%d workers=%d: executed %d, serial executed %d",
+					seed, w, e.Executed, serial.Executed)
+			}
+			if got := st.fingerprint(); got != want {
+				t.Fatalf("seed=%d workers=%d: execution diverged from serial\ngot:\n%s\nwant:\n%s",
+					seed, w, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelChurnStress is the high cancel/reschedule churn stress test the
+// CI race job runs: many units, deep recursion, heavy cancels — enough
+// traffic through the buffered Schedule/Cancel commit path to surface any
+// data race or ordering bug across workers.
+func TestParallelChurnStress(t *testing.T) {
+	units, depth, floor := 32, 13, uint64(10_000)
+	if testing.Short() {
+		units, depth, floor = 16, 9, 1_000
+	}
+	serial := sim.NewEngine()
+	sref := buildScript(serial, units, depth, 99)
+	end := serial.Run()
+	want := sref.fingerprint()
+	if serial.Executed < floor {
+		t.Fatalf("stress script too small: %d events", serial.Executed)
+	}
+	for _, w := range parallelWorkerCounts {
+		e := sim.NewEngine()
+		e.SetParallelism(w)
+		st := buildScript(e, units, depth, 99)
+		if got := e.Run(); got != end {
+			t.Fatalf("workers=%d: final time %v, want %v", w, got, end)
+		}
+		if e.Executed != serial.Executed {
+			t.Fatalf("workers=%d: executed %d, serial executed %d", w, e.Executed, serial.Executed)
+		}
+		if got := st.fingerprint(); got != want {
+			t.Fatalf("workers=%d: execution diverged from serial under churn", w)
+		}
+	}
+}
+
+// TestParallelSameUnitSameTimestampCancel pins the worker-local cancel path:
+// an event cancelling a later same-unit event at the same timestamp must
+// prevent it from running, exactly as serially.
+func TestParallelSameUnitSameTimestampCancel(t *testing.T) {
+	for _, w := range parallelWorkerCounts {
+		e := sim.NewEngine()
+		e.SetParallelism(w)
+		ran := 0
+		var victim sim.Handle
+		// The canceller is scheduled first (smaller seq), so serially the
+		// victim would never run; the parallel dispatcher must agree.
+		e.ScheduleUnit(10, 3, func(ctx *sim.UnitCtx, _ sim.Time) { ctx.Cancel(victim) })
+		victim = e.ScheduleUnit(10, 3, func(*sim.UnitCtx, sim.Time) {
+			t.Errorf("workers=%d: cancelled same-unit event ran", w)
+		})
+		e.ScheduleUnit(10, 3, func(*sim.UnitCtx, sim.Time) { ran++ })
+		e.Run()
+		if ran != 1 {
+			t.Fatalf("workers=%d: survivor ran %d times, want 1", w, ran)
+		}
+		if e.Executed != 2 {
+			t.Fatalf("workers=%d: executed %d events, want 2", w, e.Executed)
+		}
+	}
+}
+
+// TestParallelCrossUnitSameTimestampCancelPanics pins the divergence
+// detector: a cancel that would require un-running another unit's
+// same-timestamp event must panic instead of silently diverging.
+func TestParallelCrossUnitSameTimestampCancelPanics(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetParallelism(2)
+	var victim sim.Handle
+	e.ScheduleUnit(10, 0, func(ctx *sim.UnitCtx, _ sim.Time) { ctx.Cancel(victim) })
+	victim = e.ScheduleUnit(10, 1, func(*sim.UnitCtx, sim.Time) {})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("cross-unit same-timestamp cancel must panic under parallel dispatch")
+		}
+	}()
+	e.Run()
+}
+
+// TestParallelStopRequeuesBatch: Stop from a serial barrier mid-batch leaves
+// the unexecuted tail queued, and a later Run picks it up in serial order.
+func TestParallelStopRequeuesBatch(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetParallelism(4)
+	var rec simtest.Recorder
+	// Unit events observe through zero-delay barriers: the recorder is only
+	// ever touched on the engine goroutine, and barrier commit order is the
+	// deterministic (parentSeq, opIdx) order.
+	observe := func(seq uint64) sim.UnitFunc {
+		return func(ctx *sim.UnitCtx, at sim.Time) {
+			ctx.Schedule(at, -1, func(_ *sim.UnitCtx, at sim.Time) { rec.Observe(at, seq) })
+		}
+	}
+	e.Schedule(10, func(at sim.Time) { rec.Observe(at, 1) })
+	e.Schedule(10, func(at sim.Time) { rec.Observe(at, 2); e.Stop() })
+	e.ScheduleUnit(10, 0, observe(3))
+	e.ScheduleUnit(10, 1, observe(4))
+	e.Schedule(20, func(at sim.Time) { rec.Observe(at, 5) })
+	e.Run()
+	if len(rec.Events) != 2 {
+		t.Fatalf("ran %d events before Stop, want 2: %v", len(rec.Events), rec.Events)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("%d events pending after Stop, want 3", e.Pending())
+	}
+	e.Run()
+	// 5 observations land (the two unit events' barriers run zero-delay), in
+	// global (at, seq) order.
+	if len(rec.Events) != 5 {
+		t.Fatalf("resume ran %d observations total, want 5: %v", len(rec.Events), rec.Events)
+	}
+	rec.Check(t)
+}
+
+// TestParallelRunUntil pins deadline semantics under the parallel dispatcher:
+// events at the deadline (including zero-delay ones) run, later events stay.
+func TestParallelRunUntil(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetParallelism(2)
+	ran := 0
+	e.ScheduleUnit(100, 0, func(ctx *sim.UnitCtx, at sim.Time) {
+		ran++
+		ctx.Schedule(at, 0, func(*sim.UnitCtx, sim.Time) { ran++ })
+	})
+	e.Schedule(101, func(sim.Time) { t.Error("post-deadline event ran") })
+	if got := e.RunUntil(100); got != 100 {
+		t.Fatalf("RunUntil(100) = %v, want 100", got)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events at the deadline, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d events pending, want the post-deadline one", e.Pending())
+	}
+}
+
+// TestParallelMaxEventsGuard: the runaway guard still fires under parallel
+// dispatch (at batch granularity).
+func TestParallelMaxEventsGuard(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetParallelism(2)
+	e.MaxEvents = 100
+	var loop sim.UnitFunc
+	loop = func(ctx *sim.UnitCtx, _ sim.Time) { ctx.After(1, 0, loop) }
+	e.ScheduleUnit(1, 0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("parallel Run must panic when MaxEvents is exceeded")
+		}
+	}()
+	e.Run()
+}
+
+// TestParallelWorkerPanicPropagates: a panic inside a unit-tagged callback
+// resurfaces as a panic of Run on the engine goroutine.
+func TestParallelWorkerPanicPropagates(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetParallelism(4)
+	e.ScheduleUnit(5, 2, func(*sim.UnitCtx, sim.Time) { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to Run")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("propagated panic = %v, want \"boom\"", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestParallelHandleLifecycle: cancels through worker-buffered ops observe
+// the same stale-handle guarantees as Engine.Cancel.
+func TestParallelHandleLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	e.SetParallelism(2)
+	ran := 0
+	var h sim.Handle
+	h = e.ScheduleUnit(10, 0, func(ctx *sim.UnitCtx, _ sim.Time) {
+		ran++
+		ctx.Cancel(h) // own event, already running: must be a no-op
+	})
+	e.ScheduleUnit(20, 1, func(ctx *sim.UnitCtx, _ sim.Time) {
+		ran++
+		ctx.Cancel(h) // stale: slot recycled after the t=10 batch
+		ctx.Cancel(sim.Handle{})
+	})
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+}
+
+// TestSerialDispatchRunsUnitEvents: without SetParallelism, unit-tagged
+// events run on the plain serial path in the same global order.
+func TestSerialDispatchRunsUnitEvents(t *testing.T) {
+	e := sim.NewEngine()
+	var rec simtest.Recorder
+	e.ScheduleUnit(10, 4, func(ctx *sim.UnitCtx, at sim.Time) {
+		rec.Observe(at, 1)
+		ctx.Schedule(at, 4, func(_ *sim.UnitCtx, at sim.Time) { rec.Observe(at, 3) })
+	})
+	e.Schedule(10, func(at sim.Time) { rec.Observe(at, 2) })
+	e.Run()
+	if len(rec.Events) != 3 {
+		t.Fatalf("ran %d events, want 3", len(rec.Events))
+	}
+	rec.Check(t)
+}

@@ -1,0 +1,141 @@
+// Package paralleltest is the serial-vs-parallel equivalence harness for the
+// event engine's parallel dispatcher (sim.Engine.SetParallelism).
+//
+// The synthetic protocol tests in package sim prove the dispatcher correct on
+// adversarial schedule/cancel scripts; this package proves it equivalent on
+// the real model. FiguresQuick replays the full `figures --quick` grid — the
+// exact specs `syncron-sim sweep -grid figures-quick` runs — under one engine
+// configuration and snapshots every observable output: the canonical sweep
+// JSON (seed-resolved, SpecKey-stamped, byte-identical to the CLI's), the
+// rendered figure Markdown, and the per-run engine event counts. The test in
+// this package is metamorphic: the engine parallelism knob is the varied
+// input, and byte-identical snapshots across serial and workers {1,2,4,8}
+// are the invariant.
+package paralleltest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"syncron"
+)
+
+// WorkerCounts are the parallel worker counts every equivalence check runs,
+// each compared against serial execution (Parallelism 0). 1 exercises the
+// full partition/commit protocol without concurrency; 8 oversubscribes any
+// CI host so worker scheduling order is maximally perturbed.
+var WorkerCounts = []int{1, 2, 4, 8}
+
+// Snapshot captures everything the figures-quick pipeline produces under one
+// engine configuration.
+type Snapshot struct {
+	Parallelism int
+	// SweepJSON is the grid's result serialization — what
+	// `sweep -grid figures-quick -parallel N -json -` emits.
+	SweepJSON string
+	// Markdown is the rendered figure set — what `figures --quick` emits
+	// (minus the CLI's header line, which carries no run data).
+	Markdown string
+	// Events is the engine event count of each grid run, in grid order. It
+	// is also embedded in SweepJSON; kept separate for a crisper failure
+	// message when only event counts diverge.
+	Events []uint64
+}
+
+// memCache is an in-memory ResultCache: it lets FiguresQuick simulate each
+// grid spec exactly once (via SpecRunner) and then render the figures from
+// the same results with zero extra simulation, the way `figures -from DIR`
+// renders from merged shard caches.
+type memCache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (c *memCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[key]
+	return p, ok
+}
+
+func (c *memCache) Put(key string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = payload
+	return nil
+}
+
+// FiguresQuick runs the full figures-quick grid with the given engine
+// parallelism (0 = serial) and returns the snapshot of its outputs. Any
+// failed run is an error.
+func FiguresQuick(parallelism int) (*Snapshot, error) {
+	opt := syncron.FigureOptions{Quick: true, Parallelism: parallelism}
+	var specs []syncron.RunSpec
+	for _, sw := range syncron.FigureSweeps(opt) {
+		specs = append(specs, syncron.ResolveSeeds(sw.Expand(), sw.BaseSeed)...)
+	}
+	cache := &memCache{m: make(map[string][]byte)}
+	results := syncron.SpecRunner{Cache: cache}.Run(specs)
+
+	events := make([]uint64, len(results))
+	for i, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("%s under %s (parallelism %d): %s",
+				r.Spec.Workload, r.Spec.Config.Scheme, parallelism, r.Err)
+		}
+		events[i] = r.Events
+	}
+	var js bytes.Buffer
+	if err := syncron.WriteJSON(&js, results); err != nil {
+		return nil, err
+	}
+
+	opt.Cache = cache
+	opt.CacheOnly = true // every figure run must come from the sweep above
+	figs, err := syncron.Figures(opt)
+	if err != nil {
+		return nil, fmt.Errorf("rendering figures from grid cache (parallelism %d): %w",
+			parallelism, err)
+	}
+	var md bytes.Buffer
+	for _, f := range figs {
+		if err := f.WriteMarkdown(&md); err != nil {
+			return nil, err
+		}
+	}
+	return &Snapshot{
+		Parallelism: parallelism,
+		SweepJSON:   js.String(),
+		Markdown:    md.String(),
+		Events:      events,
+	}, nil
+}
+
+// FirstDiff locates the first differing byte between two strings and returns
+// a short context window around it, for failure messages that point at the
+// divergence instead of dumping megabytes of JSON.
+func FirstDiff(a, b string) (offset int, context string) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i == n && len(a) == len(b) {
+		return -1, ""
+	}
+	window := func(s string) string {
+		lo, hi := i-30, i+30
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		return s[lo:hi]
+	}
+	return i, fmt.Sprintf("a: %q\nb: %q", window(a), window(b))
+}

@@ -1,0 +1,77 @@
+package paralleltest
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFiguresQuickSerialVsParallel is the headline equivalence proof: the
+// full figures-quick grid — every workload family, every scheme, the
+// scalability and ST-ablation axes — must produce byte-identical sweep JSON,
+// byte-identical figure Markdown, and identical per-run engine event counts
+// whether the engine dispatches serially or with any parallel worker count.
+func TestFiguresQuickSerialVsParallel(t *testing.T) {
+	serial, err := FiguresQuick(0)
+	if err != nil {
+		t.Fatalf("serial baseline: %v", err)
+	}
+	// Guard against a vacuous pass: the grid must have actually simulated.
+	if len(serial.Events) == 0 {
+		t.Fatal("serial baseline produced no runs")
+	}
+	for i, ev := range serial.Events {
+		if ev == 0 {
+			t.Fatalf("serial run %d executed zero engine events", i)
+		}
+	}
+	if !strings.Contains(serial.Markdown, "## speedup") {
+		t.Fatalf("serial Markdown is missing the speedup figure:\n%.400s", serial.Markdown)
+	}
+
+	counts := WorkerCounts
+	if testing.Short() {
+		counts = []int{2}
+	}
+	for _, w := range counts {
+		w := w
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			par, err := FiguresQuick(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off, ctx := FirstDiff(serial.SweepJSON, par.SweepJSON); off >= 0 {
+				t.Errorf("sweep JSON diverges from serial at byte %d:\n%s", off, ctx)
+			}
+			if off, ctx := FirstDiff(serial.Markdown, par.Markdown); off >= 0 {
+				t.Errorf("figure Markdown diverges from serial at byte %d:\n%s", off, ctx)
+			}
+			if !reflect.DeepEqual(serial.Events, par.Events) {
+				for i := range serial.Events {
+					if i < len(par.Events) && serial.Events[i] != par.Events[i] {
+						t.Errorf("run %d executed %d events under workers=%d, want %d (serial)",
+							i, par.Events[i], w, serial.Events[i])
+						break
+					}
+				}
+				if len(serial.Events) != len(par.Events) {
+					t.Errorf("run count %d under workers=%d, want %d", len(par.Events), w, len(serial.Events))
+				}
+			}
+		})
+	}
+}
+
+// TestFirstDiff pins the failure-reporting helper itself.
+func TestFirstDiff(t *testing.T) {
+	if off, _ := FirstDiff("same", "same"); off != -1 {
+		t.Fatalf("equal strings reported diff at %d", off)
+	}
+	if off, _ := FirstDiff("abcd", "abXd"); off != 2 {
+		t.Fatalf("diff offset = %d, want 2", off)
+	}
+	if off, _ := FirstDiff("abc", "abcd"); off != 3 {
+		t.Fatalf("prefix diff offset = %d, want 3", off)
+	}
+}

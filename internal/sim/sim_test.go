@@ -284,38 +284,5 @@ func TestEngineCancelChurnBoundsQueue(t *testing.T) {
 	}
 }
 
-// Compaction must preserve deterministic (At, seq) execution order across a
-// mix of cancels and survivors.
-func TestEngineCompactionPreservesOrder(t *testing.T) {
-	e := NewEngine()
-	var got []int
-	var cancelled []Handle
-	for i := 0; i < 500; i++ {
-		i := i
-		ev := e.Schedule(Time(1000-i%7), func(Time) { got = append(got, i) })
-		if i%3 != 0 {
-			cancelled = append(cancelled, ev)
-		}
-	}
-	for _, ev := range cancelled {
-		e.Cancel(ev)
-	}
-	e.Run()
-	want := 0
-	for i := 0; i < 500; i++ {
-		if i%3 == 0 {
-			want++
-		}
-	}
-	if len(got) != want {
-		t.Fatalf("ran %d events, want %d", len(got), want)
-	}
-	// Survivors must run ordered by (At, seq): grouped by 1000-i%7 ascending,
-	// and by schedule order within one timestamp.
-	for k := 1; k < len(got); k++ {
-		ta, tb := Time(1000-got[k-1]%7), Time(1000-got[k]%7)
-		if ta > tb || (ta == tb && got[k-1] > got[k]) {
-			t.Fatalf("events out of order after compaction: %d before %d", got[k-1], got[k])
-		}
-	}
-}
+// TestEngineCompactionPreservesOrder lives in engine_order_test.go (package
+// sim_test) so it can share the simtest.CheckOrder invariant checker.

@@ -55,6 +55,9 @@ func (cfg Config) apply(c *Config) {
 	if cfg.Seed != 0 {
 		c.Seed = cfg.Seed
 	}
+	if cfg.Parallelism != 0 {
+		c.Parallelism = cfg.Parallelism
+	}
 }
 
 // WithScheme selects the synchronization mechanism.
@@ -94,3 +97,10 @@ func WithSEServiceCycles(cycles int64) Option {
 
 // WithSeed makes all simulated randomness reproducible.
 func WithSeed(seed uint64) Option { return optionFunc(func(c *Config) { c.Seed = seed }) }
+
+// WithParallelism selects the event engine's parallel dispatcher with n
+// workers for unit-tagged same-timestamp events; 0 (the default) keeps the
+// serial dispatcher. Results are byte-identical for every value — the knob
+// trades dispatch overhead for concurrency, never determinism — so it does
+// not participate in result caching (SpecKey) or serialized output.
+func WithParallelism(n int) Option { return optionFunc(func(c *Config) { c.Parallelism = n }) }

@@ -7,6 +7,8 @@
 #   go run ./cmd/syncron-bench -perf -perf-out BENCH.ci.json
 #   scripts/bench_summary.sh BENCH.ci.json >> "$GITHUB_STEP_SUMMARY"
 #
+# The report carries one entry per measured engine configuration (serial and
+# parallel dispatch over the same grids); the table shows one column each.
 # Requires jq (preinstalled on ubuntu-latest runners).
 set -euo pipefail
 
@@ -24,16 +26,17 @@ jq -r '
     def r2: (. * 100 | round) / 100;
     "### Simulator macro-benchmark — \(.benchmark)",
     "",
-    "| metric | value |",
-    "|---|---:|",
-    "| events/sec | \(.events_per_sec | round) |",
-    "| events per rep | \(.events_per_rep) |",
-    "| sim runs per rep | \(.sim_runs_per_rep) |",
-    "| best wall ms | \(.best_wall_ms | r2) |",
-    "| allocs per event | \(.allocs_per_event | (. * 1000 | round) / 1000) |",
-    "| bytes per event | \(.bytes_per_event | r2) |",
-    "| peak heap bytes | \(.peak_heap_bytes) |",
-    "| reps × workers | \(.reps) × \(.workers) |",
-    "| toolchain | \(.go_version) \(.goos)/\(.goarch), \(.num_cpu) CPU |",
+    ("| metric | " + ([.entries[].name] | join(" | ")) + " |"),
+    ("|---|" + ([.entries[] | "---:"] | join("|")) + "|"),
+    ("| workers × parallelism | " + ([.entries[] | "\(.workers) × \(.parallelism)"] | join(" | ")) + " |"),
+    ("| events/sec | " + ([.entries[].events_per_sec | round | tostring] | join(" | ")) + " |"),
+    ("| best wall ms | " + ([.entries[].best_wall_ms | r2 | tostring] | join(" | ")) + " |"),
+    ("| allocs per event | " + ([.entries[].allocs_per_event | (. * 1000 | round) / 1000 | tostring] | join(" | ")) + " |"),
+    ("| bytes per event | " + ([.entries[].bytes_per_event | r2 | tostring] | join(" | ")) + " |"),
+    ("| peak heap bytes | " + ([.entries[].peak_heap_bytes | tostring] | join(" | ")) + " |"),
+    "",
+    "Per rep: \(.sim_runs_per_rep) sim runs, \(.events_per_rep) events (identical across entries — engine parallelism never changes the simulation). \(.reps) reps; best rep is the headline.",
+    "",
+    "Toolchain: \(.go_version) \(.goos)/\(.goarch), \(.num_cpu) CPU.",
     ""
 ' "$f"

@@ -207,6 +207,14 @@ type Config struct {
 	SEServiceCycles int64 `json:"se_service_cycles,omitempty"`
 	// Seed makes all simulated randomness reproducible (default 1).
 	Seed uint64 `json:"seed,omitempty"`
+	// Parallelism selects the event engine's parallel dispatcher with that
+	// many workers for unit-tagged same-timestamp events; 0 (the default)
+	// keeps the serial dispatcher. Every value produces byte-identical
+	// results (see ARCHITECTURE.md "Parallel execution"), so the field is an
+	// execution knob, not part of the experiment: it is deliberately excluded
+	// from JSON output and from SpecKey, letting serial and parallel runs
+	// share cache entries.
+	Parallelism int `json:"-"`
 }
 
 // Context is the interface a simulated core's program uses; see
@@ -250,6 +258,7 @@ func New(opts ...Option) *System {
 	acfg.Topology = topo
 	cfg.Topology = topo
 	acfg.LinkLatency = cfg.LinkLatency
+	acfg.Parallelism = cfg.Parallelism
 	if cfg.Seed != 0 {
 		acfg.Seed = cfg.Seed
 	}
