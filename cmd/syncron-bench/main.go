@@ -21,13 +21,17 @@
 //
 // The -perf mode replays the canonical `figures --quick` grids
 // (syncron.FigureSweeps) several times under the serial engine and again
-// under the parallel dispatcher, and writes BENCH.json: one entry per
-// configuration with wall time per repetition, simulated events/sec,
-// allocations per event, and peak heap. The event count must be identical
-// across repetitions AND across the serial/parallel entries — the simulator
-// is deterministic and engine parallelism never changes what executes — so
-// BENCH.json doubles as a determinism check. CI's bench smoke job and the
-// repo's recorded perf trajectory both read this file.
+// under the parallel dispatcher at each worker count of -perf-parallel
+// (default 1,2,4,8), and writes BENCH.json: one entry per configuration with
+// wall time per repetition, simulated events/sec, allocations per event, and
+// peak heap. On a single-CPU host the multi-worker entries are skipped, not
+// faked — a "parallel-4" number measured on one core would read as a
+// regression that is really just oversubscription; every entry records the
+// host's CPU count so reports from different hosts compare honestly. The
+// event count must be identical across repetitions AND across every entry —
+// the simulator is deterministic and engine parallelism never changes what
+// executes — so BENCH.json doubles as a determinism check. CI's bench smoke
+// job and the repo's recorded perf trajectory both read this file.
 package main
 
 import (
@@ -36,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -53,7 +59,7 @@ func main() {
 		perfOut  = flag.String("perf-out", "BENCH.json", "macro-benchmark report path (use - for stdout)")
 		perfReps = flag.Int("perf-reps", 3, "macro-benchmark repetitions (the best one is the headline)")
 		perfWork = flag.Int("perf-workers", 1, "macro-benchmark worker goroutines; 1 (the default) measures serial simulator throughput, comparable across hosts (0 = GOMAXPROCS)")
-		perfPar  = flag.Int("perf-parallel", 0, "engine dispatch workers for the parallel entry (0 = max(2, NumCPU))")
+		perfPar  = flag.String("perf-parallel", "1,2,4,8", "comma-separated engine dispatch worker counts, one parallel entry each; counts above 1 are skipped on single-CPU hosts")
 	)
 	flag.Parse()
 
@@ -137,7 +143,8 @@ type perfReport struct {
 // perfEntry is one measured configuration of the macro-benchmark.
 type perfEntry struct {
 	// Name distinguishes entries: "serial" is the comparable-across-hosts
-	// headline, "parallel" measures the engine's parallel dispatcher.
+	// headline, "parallel-N" measures the engine's parallel dispatcher with
+	// N workers.
 	Name string `json:"name"`
 	// Workers is the sweep worker count (simultaneous runs). The serial
 	// entry uses 1 so wall time measures single-run simulator throughput.
@@ -145,6 +152,11 @@ type perfEntry struct {
 	// Parallelism is the engine's dispatch worker count within each run
 	// (sim.Engine.SetParallelism); 0 = the serial dispatcher.
 	Parallelism int `json:"parallelism"`
+	// NumCPU is the CPU count of the host that measured THIS entry. It
+	// repeats the report-level value today, but entries merged or compared
+	// across hosts stay honest: a parallel-8 number from a 2-CPU box carries
+	// its own context.
+	NumCPU int `json:"num_cpu"`
 
 	WallMSPerRep []float64 `json:"wall_ms_per_rep"`
 	// BestWallMS and EventsPerSec summarize the fastest repetition — the
@@ -200,11 +212,18 @@ func (s *heapSampler) halt() {
 
 // measurePerf runs the figures-quick grids reps times under one engine
 // configuration and returns the entry plus the per-rep work counts.
+// parallelism uses Config.Parallelism semantics (the serial entry passes
+// syncron.ParallelismSerial); the recorded entry keeps the engine-level
+// worker count, 0 for serial.
 func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampler) (perfEntry, int, uint64, error) {
 	sweeps := syncron.FigureSweeps(syncron.FigureOptions{
 		Quick: true, Workers: workers, Parallelism: parallelism,
 	})
-	entry := perfEntry{Name: name, Workers: workers, Parallelism: parallelism}
+	recorded := parallelism
+	if recorded < 0 {
+		recorded = 0
+	}
+	entry := perfEntry{Name: name, Workers: workers, Parallelism: recorded, NumCPU: runtime.NumCPU()}
 	var events uint64
 	simRuns := 0
 	var before runtime.MemStats
@@ -255,23 +274,47 @@ func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampl
 	return entry, simRuns, events, nil
 }
 
+// parsePerfParallel resolves the -perf-parallel list into the engine worker
+// counts to measure, dropping multi-worker counts on single-CPU hosts (a
+// skipped entry is honest; a one-core "parallel-4" number is not).
+func parsePerfParallel(s string, numCPU int) ([]int, []int, error) {
+	var counts, skipped []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, nil, fmt.Errorf("-perf-parallel: %q is not a positive worker count", f)
+		}
+		if n > 1 && numCPU < 2 {
+			skipped = append(skipped, n)
+			continue
+		}
+		counts = append(counts, n)
+	}
+	return counts, skipped, nil
+}
+
 // runPerf is the macro-benchmark: it replays the canonical figures --quick
-// grids reps times serially and again under the parallel engine dispatcher,
-// verifies both executed the identical event count, and writes a perfReport.
-func runPerf(reps, workers, parallelism int, out string) error {
+// grids reps times serially and again under the parallel engine dispatcher
+// at each requested worker count, verifies every entry executed the
+// identical event count, and writes a perfReport.
+func runPerf(reps, workers int, parallelList, out string) error {
 	if reps < 1 {
 		reps = 1
 	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if parallelism <= 0 {
-		// Oversubscribing a 1-CPU host still exercises the dispatcher; the
-		// floor of 2 guarantees the parallel entry is never secretly serial.
-		parallelism = runtime.NumCPU()
-		if parallelism < 2 {
-			parallelism = 2
-		}
+	counts, skipped, err := parsePerfParallel(parallelList, runtime.NumCPU())
+	if err != nil {
+		return err
+	}
+	for _, n := range skipped {
+		fmt.Fprintf(os.Stderr, "syncron-bench: perf: skipping parallel-%d on a %d-CPU host (nothing honest to measure)\n",
+			n, runtime.NumCPU())
 	}
 	sampler := startHeapSampler()
 	defer sampler.halt()
@@ -284,22 +327,25 @@ func runPerf(reps, workers, parallelism int, out string) error {
 		NumCPU:    runtime.NumCPU(),
 		Reps:      reps,
 	}
-	serial, simRuns, events, err := measurePerf("serial", workers, 0, reps, sampler)
+	serial, simRuns, events, err := measurePerf("serial", workers, syncron.ParallelismSerial, reps, sampler)
 	if err != nil {
 		return err
 	}
 	rep.SimRuns = simRuns
 	rep.Events = events
-	parallel, parRuns, parEvents, err := measurePerf("parallel", workers, parallelism, reps, sampler)
-	if err != nil {
-		return err
+	rep.Entries = []perfEntry{serial}
+	for _, n := range counts {
+		entry, runs, ev, err := measurePerf(fmt.Sprintf("parallel-%d", n), workers, n, reps, sampler)
+		if err != nil {
+			return err
+		}
+		// The dispatcher contract: parallel execution changes wall time only.
+		if ev != events || runs != simRuns {
+			return fmt.Errorf("%s executed %d events over %d runs, serial executed %d over %d — engine parallelism changed the simulation",
+				entry.Name, ev, runs, events, simRuns)
+		}
+		rep.Entries = append(rep.Entries, entry)
 	}
-	// The dispatcher contract: parallel execution changes wall time only.
-	if parEvents != events || parRuns != simRuns {
-		return fmt.Errorf("parallel entry executed %d events over %d runs, serial executed %d over %d — engine parallelism changed the simulation",
-			parEvents, parRuns, events, simRuns)
-	}
-	rep.Entries = []perfEntry{serial, parallel}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

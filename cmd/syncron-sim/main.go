@@ -110,7 +110,7 @@ func listCmd() {
 // -topology flag (run takes one topology; sweep accepts a comma list as a
 // grid axis), and the raw -parallel flag so sweep can apply it to canonical
 // -grid specs after expansion.
-func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *int) {
+func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *string) {
 	var (
 		units    = fs.Int("units", 4, "NDP units")
 		cores    = fs.Int("cores", 0, "total client cores (default units*15)")
@@ -120,7 +120,7 @@ func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *int) 
 		stSize   = fs.Int("st", 0, "SynCron ST entries (default 64)")
 		fairness = fs.Int("fairness", 0, "lock fairness threshold (0 = off)")
 		seed     = fs.Uint64("seed", 0, "simulation seed (0 = default)")
-		parallel = fs.Int("parallel", 0, "event-engine dispatch workers within one run (0 = serial); never affects results")
+		parallel = fs.String("parallel", "auto", "event-engine dispatch: auto | serial | worker count; never affects results")
 	)
 	return func() syncron.Config {
 		if *units <= 0 {
@@ -137,13 +137,31 @@ func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *int) 
 			STEntries:         *stSize,
 			FairnessThreshold: *fairness,
 			Seed:              *seed,
-			Parallelism:       *parallel,
+			Parallelism:       parseParallel(*parallel),
 		}
 		if *cores != 0 {
 			cfg.CoresPerUnit = *cores / *units
 		}
 		return cfg
 	}, cores, topology, parallel
+}
+
+// parseParallel resolves a -parallel flag value to Config.Parallelism
+// semantics: "auto" (the default, also "0") lets New pick per host,
+// "serial" forces the serial dispatcher, and a positive integer forces that
+// many dispatch workers.
+func parseParallel(s string) int {
+	switch s {
+	case "", "auto", "0":
+		return syncron.ParallelismAuto
+	case "serial":
+		return syncron.ParallelismSerial
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		fatal("-parallel must be auto, serial, or a positive worker count (got %q)", s)
+	}
+	return n
 }
 
 // parseTopologyList resolves a comma-separated -topology value.
@@ -367,9 +385,9 @@ func sweepCmd(args []string) {
 		// sweep that also names axis or config flags would silently drop them.
 		rejectFlagsWithGrid(fs)
 		specs = figureGridSpecs(*grid == "figures-quick")
-		if *parallel != 0 {
+		if p := parseParallel(*parallel); p != syncron.ParallelismAuto {
 			for i := range specs {
-				specs[i].Config.Parallelism = *parallel
+				specs[i].Config.Parallelism = p
 			}
 		}
 		gridName = *grid
@@ -461,7 +479,7 @@ func figuresCmd(args []string) {
 		scale     = fs.Float64("scale", 0, "workload scale factor (0 = canonical default)")
 		topos     = fs.String("topologies", "", "comma-separated topologies for the interconnect sensitivity figure (empty = skip it)")
 		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS); never affects results")
-		parallel  = fs.Int("parallel", 0, "event-engine dispatch workers within one run (0 = serial); never affects results")
+		parallel  = fs.String("parallel", "auto", "event-engine dispatch: auto | serial | worker count; never affects results")
 		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
 		mdOut     = fs.String("md", "-", "Markdown output path (- = stdout)")
 		csvDir    = fs.String("csv-dir", "", "also write one <figure>.csv per figure into this directory")
@@ -486,7 +504,7 @@ func figuresCmd(args []string) {
 		Baseline:    base,
 		Scale:       *scale,
 		Workers:     *workers,
-		Parallelism: *parallel,
+		Parallelism: parseParallel(*parallel),
 		BaseSeed:    *baseSeed,
 		Topologies:  parseTopologyList(*topos),
 		CacheOnly:   *fromDir != "",

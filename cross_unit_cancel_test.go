@@ -1,0 +1,32 @@
+package syncron
+
+import "testing"
+
+// TestFiguresQuickSchedulesNoCrossUnitCancels pins the model's event-cancel
+// discipline: across the entire figures-quick grid, no unit-tagged event
+// ever cancels an event owned by ANOTHER unit. Cross-unit cancels of
+// same-timestamp events panic by the dispatcher's contract
+// (sim.Engine.Cancel docs); cancels of future cross-unit events are merely
+// one refactor away from that panic, so the model keeps them at zero and
+// this test keeps them there. sim.Engine.CrossUnitCancels counts every
+// cancel a unit event issued against another unit's event.
+func TestFiguresQuickSchedulesNoCrossUnitCancels(t *testing.T) {
+	for _, sw := range FigureSweeps(FigureOptions{Quick: true, Parallelism: 4}) {
+		for _, spec := range ResolveSeeds(sw.Expand(), sw.BaseSeed) {
+			w, ok := LookupWorkload(spec.Workload)
+			if !ok {
+				t.Fatalf("unknown workload %q in figures-quick grid", spec.Workload)
+			}
+			sys := New(spec.Config)
+			if _, err := w.Prepare(sys, spec.Params); err != nil {
+				t.Fatalf("%s under %s: prepare: %v", spec.Workload, spec.Config.Scheme, err)
+			}
+			sys.Run()
+			eng := sys.Machine().Engine
+			if eng.CrossUnitCancels != 0 {
+				t.Errorf("%s under %s: unit events issued %d cross-unit cancels, want 0",
+					spec.Workload, spec.Config.Scheme, eng.CrossUnitCancels)
+			}
+		}
+	}
+}

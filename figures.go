@@ -97,9 +97,12 @@ type FigureOptions struct {
 	// rendering with an error naming it. This is `figures -from DIR` — e.g.
 	// rendering from cache entries merged out of CI shard artifacts.
 	CacheOnly bool
-	// Parallelism selects the event engine's parallel dispatcher for every
-	// figure run (0 = serial). Like Workers it affects wall-clock time only,
-	// never results: figure output is byte-identical for every value.
+	// Parallelism selects the event engine's dispatcher for every figure
+	// run, with Config.Parallelism semantics: ParallelismAuto (0, the
+	// default) resolves per host at New time, ParallelismSerial (-1) forces
+	// serial, n > 0 forces n workers. Like Workers it affects wall-clock
+	// time only, never results: figure output is byte-identical for every
+	// value.
 	Parallelism int
 	// BaseSeed is the single simulation seed shared by EVERY figure run
 	// (default 1). Sharing one seed — rather than deriving per-run seeds à

@@ -135,6 +135,31 @@ func NewMachine(cfg Config) *Machine {
 // NumCores returns the total number of client cores.
 func (m *Machine) NumCores() int { return m.Cfg.Units * m.Cfg.CoresPerUnit }
 
+// Simulation-unit identity map (see ARCHITECTURE.md "Unit ownership map").
+//
+// Every simulated component with mutable hot-path state is owned by exactly
+// one engine unit, so same-timestamp events tagged with different units may
+// run concurrently under the parallel dispatcher:
+//
+//   - units 0..Units-1 are resource units: NDP unit u's crossbar row,
+//     DRAM stack, and per-unit traffic shards belong to ResourceUnit(u);
+//   - units Units..Units+NumCores-1 are core units: core c's program state
+//     and private L1 belong to CoreUnit(c).
+//
+// Anything touching more than one owner's state (inter-unit links, the
+// synchronization protocol layers) must run as a serial-barrier event.
+
+// ResourceUnit returns the engine unit owning NDP unit u's shared resources
+// (crossbar, memory stack, intra-unit traffic shards).
+func (m *Machine) ResourceUnit(u int) int { return u }
+
+// CoreUnit returns the engine unit owning core c's program context and L1.
+func (m *Machine) CoreUnit(c int) int { return m.Cfg.Units + c }
+
+// NumSimUnits returns the total number of engine units the machine tags
+// events with; WithParallelism's auto mode caps the worker count here.
+func (m *Machine) NumSimUnits() int { return m.Cfg.Units + m.NumCores() }
+
 // UnitOf returns the NDP unit hosting global core id c.
 func (m *Machine) UnitOf(c int) int { return c / m.Cfg.CoresPerUnit }
 
@@ -240,6 +265,48 @@ func (m *Machine) CoreAccess(t sim.Time, core int, addr uint64, write bool) sim.
 	return m.AccessFrom(t, m.UnitOf(core), network.PortCore(m.LocalOf(core)), m.Caches[core], addr, write)
 }
 
+// AccessClass says which simulation units a CoreAccess would touch, so the
+// program layer can schedule the access on its owner (see the unit map above).
+type AccessClass int8
+
+// Access ownership classes.
+const (
+	// AccessL1Hit touches only the core's own L1: safe on CoreUnit(core).
+	AccessL1Hit AccessClass = iota
+	// AccessOwnUnit touches the L1 plus the core's own unit's crossbar and
+	// DRAM: safe on ResourceUnit(UnitOf(core)).
+	AccessOwnUnit
+	// AccessCrossUnit touches other units' links/crossbars/DRAM: must run as
+	// a serial barrier.
+	AccessCrossUnit
+)
+
+// ClassifyCoreAccess predicts which class CoreAccess(core, addr, write) falls
+// in, without mutating any state. The prediction is exact as long as no other
+// access to the same L1 intervenes — guaranteed for in-order blocking cores,
+// which have at most one access in flight.
+func (m *Machine) ClassifyCoreAccess(core int, addr uint64, write bool) AccessClass {
+	unit := m.UnitOf(core)
+	home := m.HomeUnit(addr)
+	if m.Cacheable(addr) {
+		res := m.Caches[core].Probe(addr, write)
+		if res.Hit {
+			return AccessL1Hit
+		}
+		if home != unit {
+			return AccessCrossUnit
+		}
+		if res.Writeback && m.HomeUnit(res.VictimAddr) != unit {
+			return AccessCrossUnit
+		}
+		return AccessOwnUnit
+	}
+	if home != unit {
+		return AccessCrossUnit
+	}
+	return AccessOwnUnit
+}
+
 // Energy summarizes the machine's energy consumption in picojoules.
 type Energy struct {
 	CachePJ   float64
@@ -259,7 +326,7 @@ func (m *Machine) EnergyBreakdown() Energy {
 	if m.Backend != nil {
 		e.CachePJ += m.Backend.ExtraCacheEnergyPJ()
 	}
-	e.NetworkPJ = m.Net.Stats.EnergyPJ(m.Net.Config())
+	e.NetworkPJ = m.Net.EnergyPJ()
 	timing := mem.TimingFor(m.Cfg.Mem)
 	for _, mm := range m.Mems {
 		e.MemoryPJ += mm.Stats.EnergyPJ(timing)
@@ -269,5 +336,5 @@ func (m *Machine) EnergyBreakdown() Energy {
 
 // DataMovement reports bytes moved inside and across NDP units.
 func (m *Machine) DataMovement() (intraBytes, interBytes uint64) {
-	return m.Net.Stats.IntraBits.Value() / 8, m.Net.Stats.InterBits.Value() / 8
+	return m.Net.IntraBits() / 8, m.Net.Stats.InterBits.Value() / 8
 }

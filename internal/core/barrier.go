@@ -17,71 +17,83 @@ import "syncron/internal/sim"
 // barrierWithin handles barrier_wait_within_unit.
 func (c *Coordinator) barrierWithin(t sim.Time, core int, addr uint64, n int, done func(sim.Time)) {
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			c.masterBarrierCoreArrive(pt, addr, n, holderRef{core: core, done: done})
-		})
+		o := c.op(opBarrierCoreArrive)
+		o.addr, o.n, o.core, o.done = addr, n, core, done
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		ls, ok := local.localOf(pt, addr)
-		if !ok {
-			local.memEnter(addr)
-			master := c.masterNode(addr)
-			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-				c.masterBarrierCoreArrive(mt, addr, n, holderRef{core: core, done: done, relay: local})
-			})
-			return
+	o := c.op(opBarrierWithinLocal)
+	o.nd, o.core, o.addr, o.n, o.done = local, core, addr, n, done
+	c.coreToNode(t, core, local, addr, o.fn)
+}
+
+// barrierWithinLocal runs the local-SE side of barrier_wait_within_unit
+// after message processing at node local.
+func (c *Coordinator) barrierWithinLocal(pt sim.Time, local *node, core int, addr uint64, n int, done func(sim.Time)) {
+	ls, ok := local.localOf(pt, addr)
+	if !ok {
+		local.memEnter(addr)
+		o := c.op(opBarrierCoreArrive)
+		o.addr, o.n, o.core, o.done, o.nd = addr, n, core, done, local
+		c.nodeToNode(pt, local, c.masterNode(addr), addr, o.fn)
+		return
+	}
+	ls.barWaiters = append(ls.barWaiters, pend{core: core, done: done})
+	if len(ls.barWaiters) >= n {
+		ws := ls.barWaiters
+		for _, w := range ws {
+			c.nodeToCore(pt, local, w.core, w.done)
 		}
-		ls.barWaiters = append(ls.barWaiters, pend{core: core, done: done})
-		if len(ls.barWaiters) >= n {
-			ws := ls.barWaiters
-			ls.barWaiters = nil
-			local.localDrop(pt, addr)
-			for _, w := range ws {
-				c.nodeToCore(pt, local, w.core, w.done)
-			}
+		for i := range ws {
+			ws[i] = pend{}
 		}
-	})
+		ls.barWaiters = ws[:0]
+		local.localDrop(pt, addr)
+	}
 }
 
 // barrierAcross handles barrier_wait_across_units with n total participants.
 func (c *Coordinator) barrierAcross(t sim.Time, core int, addr uint64, n int, done func(sim.Time)) {
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			c.masterBarrierCoreArrive(pt, addr, n, holderRef{core: core, done: done})
-		})
+		o := c.op(opBarrierCoreArrive)
+		o.addr, o.n, o.core, o.done = addr, n, core, done
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	twoLevel := n == c.m.NumCores()
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		master := c.masterNode(addr)
-		if !twoLevel {
-			// One-level: redirect to the master (costed as a relay hop).
-			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-				c.masterBarrierCoreArrive(mt, addr, n, holderRef{core: core, done: done, relay: local})
-			})
-			return
-		}
-		ls, ok := local.localOf(pt, addr)
-		if !ok {
-			local.memEnter(addr)
-			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-				c.masterBarrierCoreArrive(mt, addr, n, holderRef{core: core, done: done, relay: local})
-			})
-			return
-		}
-		ls.barWaiters = append(ls.barWaiters, pend{core: core, done: done})
-		if len(ls.barWaiters) >= c.m.Cfg.CoresPerUnit {
-			// Unit complete: one aggregated barrier_wait_global.
-			c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-				c.masterBarrierNodeArrive(mt, addr, n, local)
-			})
-		}
-	})
+	o := c.op(opBarrierAcrossLocal)
+	o.nd, o.core, o.addr, o.n, o.done = local, core, addr, n, done
+	o.flag = n == c.m.NumCores() // two-level scheme active
+	c.coreToNode(t, core, local, addr, o.fn)
+}
+
+// barrierAcrossLocal runs the local-SE side of barrier_wait_across_units
+// after message processing at node local.
+func (c *Coordinator) barrierAcrossLocal(pt sim.Time, local *node, core int, addr uint64, n int, done func(sim.Time), twoLevel bool) {
+	master := c.masterNode(addr)
+	if !twoLevel {
+		// One-level: redirect to the master (costed as a relay hop).
+		o := c.op(opBarrierCoreArrive)
+		o.addr, o.n, o.core, o.done, o.nd = addr, n, core, done, local
+		c.nodeToNode(pt, local, master, addr, o.fn)
+		return
+	}
+	ls, ok := local.localOf(pt, addr)
+	if !ok {
+		local.memEnter(addr)
+		o := c.op(opBarrierCoreArrive)
+		o.addr, o.n, o.core, o.done, o.nd = addr, n, core, done, local
+		c.nodeToNode(pt, local, master, addr, o.fn)
+		return
+	}
+	ls.barWaiters = append(ls.barWaiters, pend{core: core, done: done})
+	if len(ls.barWaiters) >= c.m.Cfg.CoresPerUnit {
+		// Unit complete: one aggregated barrier_wait_global.
+		o := c.op(opBarrierNodeArrive)
+		o.addr, o.n, o.nd = addr, n, local
+		c.nodeToNode(pt, local, master, addr, o.fn)
+	}
 }
 
 // masterBarrierNodeArrive records an aggregated unit arrival.
@@ -119,35 +131,50 @@ func (c *Coordinator) masterBarrierMaybeDepart(t sim.Time, ms *masterState, addr
 	}
 	nodes := ms.barNodes
 	cores := ms.barCores
-	ms.barNodes = nil
-	ms.barCores = nil
 	ms.barArrived = 0
 	master := c.masterNode(addr)
 	for _, nd := range nodes {
-		nd := nd
 		// barrier_depart_global, then local departure grants.
-		c.nodeToNode(t, master, nd, addr, func(lt sim.Time) {
-			ls := nd.locals[addr]
-			if ls == nil {
-				return
-			}
-			ws := ls.barWaiters
-			ls.barWaiters = nil
-			nd.localDrop(lt, addr)
-			for _, w := range ws {
-				c.nodeToCore(lt, nd, w.core, w.done)
-			}
-		})
+		o := c.op(opBarrierDepartLocal)
+		o.nd, o.addr = nd, addr
+		c.nodeToNode(t, master, nd, addr, o.fn)
 	}
 	for _, ref := range cores {
 		if ref.relay != nil && ref.relay != master {
-			ref := ref
-			c.nodeToNode(t, master, ref.relay, addr, func(rt sim.Time) {
-				c.nodeToCore(rt, ref.relay, ref.core, ref.done)
-			})
+			o := c.op(opRelayGrant)
+			o.nd, o.core, o.done = ref.relay, ref.core, ref.done
+			c.nodeToNode(t, master, ref.relay, addr, o.fn)
 		} else {
 			c.nodeToCore(t, master, ref.core, ref.done)
 		}
 	}
+	// Truncate in place (after the loops) so the pooled state keeps its
+	// backing arrays; clear the holderRefs to drop their done references.
+	for i := range nodes {
+		nodes[i] = nil
+	}
+	for i := range cores {
+		cores[i] = holderRef{}
+	}
+	ms.barNodes = nodes[:0]
+	ms.barCores = cores[:0]
 	c.masterFree(t, ms)
+}
+
+// barrierDepartLocal runs at a local SE when barrier_depart_global arrives:
+// it grants all local barrier waiters and frees the local state.
+func (c *Coordinator) barrierDepartLocal(lt sim.Time, nd *node, addr uint64) {
+	ls := nd.locals[addr]
+	if ls == nil {
+		return
+	}
+	ws := ls.barWaiters
+	for _, w := range ws {
+		c.nodeToCore(lt, nd, w.core, w.done)
+	}
+	for i := range ws {
+		ws[i] = pend{}
+	}
+	ls.barWaiters = ws[:0]
+	nd.localDrop(lt, addr)
 }

@@ -13,77 +13,102 @@ import "syncron/internal/sim"
 // condWait handles cond_wait(cond, lock).
 func (c *Coordinator) condWait(t sim.Time, core int, addr, lock uint64, done func(sim.Time)) {
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			// Release the lock at its own master, then park the waiter.
-			lm := c.masterNode(lock)
-			c.nodeToNode(pt, m, lm, lock, func(lt sim.Time) {
-				c.masterLockCoreRelease(lt, lock)
-			})
-			ms := c.master(addr)
-			c.masterHold(pt, ms)
-			ms.condQ = append(ms.condQ, condWaiter{core: core, lock: lock, done: done})
-		})
+		o := c.op(opCondWaitFlat)
+		o.core, o.addr, o.addr2, o.done = core, addr, lock, done
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	master := c.masterNode(addr)
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		// The SE releases the associated lock on the waiter's behalf.
-		c.lockReleaseAt(pt, local, core, lock)
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			ms := c.master(addr)
-			c.masterHold(mt, ms)
-			if c.masterNode(addr).viaMemory(addr) {
-				c.overflowReqs++
-			}
-			ms.condQ = append(ms.condQ, condWaiter{core: core, lock: lock, done: done, relay: local})
-		})
-	})
+	o := c.op(opCondWaitLocal)
+	o.nd, o.core, o.addr, o.addr2, o.done = local, core, addr, lock, done
+	c.coreToNode(t, core, local, addr, o.fn)
+}
+
+// condWaitAtMaster runs a flat/central cond_wait at the variable's master:
+// release the lock at its own master, then park the waiter.
+func (c *Coordinator) condWaitAtMaster(pt sim.Time, core int, addr, lock uint64, done func(sim.Time)) {
+	m := c.masterNode(addr)
+	rel := c.op(opMasterCoreRelease)
+	rel.addr = lock
+	c.nodeToNode(pt, m, c.masterNode(lock), lock, rel.fn)
+	ms := c.master(addr)
+	c.masterHold(pt, ms)
+	ms.condQ = append(ms.condQ, condWaiter{core: core, lock: lock, done: done})
+}
+
+// condWaitAtLocal runs a hierarchical cond_wait at the waiter's local SE:
+// the SE releases the associated lock on the waiter's behalf, then forwards
+// the wait to the condition variable's master.
+func (c *Coordinator) condWaitAtLocal(pt sim.Time, local *node, core int, addr, lock uint64, done func(sim.Time)) {
+	c.lockReleaseAt(pt, local, core, lock)
+	o := c.op(opCondWaitReg)
+	o.core, o.addr, o.addr2, o.done, o.nd = core, addr, lock, done, local
+	c.nodeToNode(pt, local, c.masterNode(addr), addr, o.fn)
+}
+
+// condWaitRegister parks the waiter at the master.
+func (c *Coordinator) condWaitRegister(mt sim.Time, core int, addr, lock uint64, done func(sim.Time), relay *node) {
+	ms := c.master(addr)
+	c.masterHold(mt, ms)
+	if c.masterNode(addr).viaMemory(addr) {
+		c.overflowReqs++
+	}
+	ms.condQ = append(ms.condQ, condWaiter{core: core, lock: lock, done: done, relay: relay})
 }
 
 // condSignal wakes one waiter.
 func (c *Coordinator) condSignal(t sim.Time, core int, addr, lock uint64) {
-	c.condDeliver(t, core, addr, func(mt sim.Time, ms *masterState) {
-		if len(ms.condQ) == 0 {
-			c.masterFree(mt, ms)
-			return
-		}
-		w := ms.condQ[0]
-		ms.condQ = ms.condQ[1:]
-		c.condWake(mt, addr, w)
-		c.masterFree(mt, ms)
-	})
+	c.condDeliver(t, core, addr, opCondSignal)
 }
 
 // condBroadcast wakes all waiters.
 func (c *Coordinator) condBroadcast(t sim.Time, core int, addr, lock uint64) {
-	c.condDeliver(t, core, addr, func(mt sim.Time, ms *masterState) {
-		ws := ms.condQ
-		ms.condQ = nil
-		for _, w := range ws {
-			c.condWake(mt, addr, w)
-		}
-		c.masterFree(mt, ms)
-	})
+	c.condDeliver(t, core, addr, opCondBroadcast)
 }
 
-// condDeliver routes a signal/broadcast message to the master and runs act
-// there.
-func (c *Coordinator) condDeliver(t sim.Time, core int, addr uint64, act func(sim.Time, *masterState)) {
-	master := c.masterNode(addr)
+// condDeliver routes a signal/broadcast message to the master, where the
+// continuation of the given kind runs.
+func (c *Coordinator) condDeliver(t sim.Time, core int, addr uint64, kind opKind) {
 	if !c.hierarchical() {
-		c.coreToNode(t, core, master, addr, func(pt sim.Time) {
-			act(pt, c.master(addr))
-		})
+		o := c.op(kind)
+		o.addr = addr
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			act(mt, c.master(addr))
-		})
-	})
+	o := c.op(opForwardMaster)
+	o.kind2 = kind
+	o.nd, o.addr = local, addr
+	c.coreToNode(t, core, local, addr, o.fn)
+}
+
+// condSignalAtMaster wakes the oldest waiter at the master.
+func (c *Coordinator) condSignalAtMaster(mt sim.Time, addr uint64) {
+	ms := c.master(addr)
+	if len(ms.condQ) == 0 {
+		c.masterFree(mt, ms)
+		return
+	}
+	w := ms.condQ[0]
+	k := copy(ms.condQ, ms.condQ[1:])
+	ms.condQ[k] = condWaiter{}
+	ms.condQ = ms.condQ[:k]
+	c.condWake(mt, addr, w)
+	c.masterFree(mt, ms)
+}
+
+// condBroadcastAtMaster wakes all waiters at the master.
+func (c *Coordinator) condBroadcastAtMaster(mt sim.Time, addr uint64) {
+	ms := c.master(addr)
+	ws := ms.condQ
+	for _, w := range ws {
+		c.condWake(mt, addr, w)
+	}
+	for i := range ws {
+		ws[i] = condWaiter{}
+	}
+	ms.condQ = ws[:0]
+	c.masterFree(mt, ms)
 }
 
 // condWake re-acquires the waiter's lock and completes its cond_wait when
@@ -92,10 +117,9 @@ func (c *Coordinator) condWake(t sim.Time, addr uint64, w condWaiter) {
 	master := c.masterNode(addr)
 	if !c.hierarchical() {
 		// cond_grant travels to the lock's master as a per-core acquire.
-		lm := c.masterNode(w.lock)
-		c.nodeToNode(t, master, lm, w.lock, func(lt sim.Time) {
-			c.masterLockCoreAcquire(lt, w.core, w.lock, w.done, nil)
-		})
+		o := c.op(opMasterCoreAcquire)
+		o.core, o.addr, o.done = w.core, w.lock, w.done
+		c.nodeToNode(t, master, c.masterNode(w.lock), w.lock, o.fn)
 		return
 	}
 	relay := w.relay
@@ -104,7 +128,7 @@ func (c *Coordinator) condWake(t sim.Time, addr uint64, w condWaiter) {
 	}
 	// cond_grant_global to the waiter's local SE, which enqueues the waiter
 	// on the lock as a normal local acquire.
-	c.nodeToNode(t, master, relay, w.lock, func(rt sim.Time) {
-		c.lockEnqueueAt(rt, relay, w.core, w.lock, w.done)
-	})
+	o := c.op(opLockEnqueue)
+	o.nd, o.core, o.addr, o.done = relay, w.core, w.lock, w.done
+	c.nodeToNode(t, master, relay, w.lock, o.fn)
 }

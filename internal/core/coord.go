@@ -155,6 +155,12 @@ type Coordinator struct {
 	// fallback server busy horizons for OverflowCentral/OverflowDistrib.
 	fallbackBusy []sim.Time
 	abortsSent   uint64
+
+	// continuation and state freelists (see pool.go).
+	freeDeliver *deliver
+	freeOps     *callOp
+	freeMasters *masterState
+	freeLocals  *localState
 }
 
 // Name implements arch.Backend.
@@ -195,6 +201,7 @@ func (c *Coordinator) Attach(m *arch.Machine) {
 		c.nodes = append(c.nodes, newNode(c, unit))
 	}
 	c.fallbackBusy = make([]sim.Time, m.Cfg.Units)
+	c.freeDeliver, c.freeOps, c.freeMasters, c.freeLocals = nil, nil, nil, nil
 }
 
 // masterNode returns the node coordinating variable addr globally.
@@ -312,10 +319,7 @@ func (c *Coordinator) OverflowedFraction() float64 {
 func (c *Coordinator) coreToNode(t sim.Time, core int, n *node, addr uint64, then func(sim.Time)) {
 	unit := c.m.UnitOf(core)
 	arr := c.m.Net.Transfer(t, unit, n.unit, n.port(), arch.SyncReqBytes)
-	c.m.Engine.Schedule(arr, func(arr sim.Time) {
-		fin := n.process(arr, addr)
-		c.m.Engine.Schedule(fin, then)
-	})
+	c.m.Engine.Schedule(arr, c.newDeliver(n, addr, then).fn)
 }
 
 // nodeToNode delivers a message between nodes. Same-node delivery costs
@@ -326,10 +330,7 @@ func (c *Coordinator) nodeToNode(t sim.Time, from, to *node, addr uint64, then f
 		return
 	}
 	arr := c.m.Net.Transfer(t, from.unit, to.unit, to.port(), arch.SyncReqBytes)
-	c.m.Engine.Schedule(arr, func(arr sim.Time) {
-		fin := to.process(arr, addr)
-		c.m.Engine.Schedule(fin, then)
-	})
+	c.m.Engine.Schedule(arr, c.newDeliver(to, addr, then).fn)
 }
 
 // nodeToCore delivers a grant/notification from a node to a core; done gets

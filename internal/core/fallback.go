@@ -96,7 +96,9 @@ func (c *Coordinator) fallbackLockRelease(t sim.Time, core int, addr uint64) {
 				return
 			}
 			ref := ms.queue[0]
-			ms.queue = ms.queue[1:]
+			k := copy(ms.queue, ms.queue[1:])
+			ms.queue[k] = holderRef{}
+			ms.queue = ms.queue[:k]
 			ms.lockHeld = true
 			c.fallbackGrant(fin, addr, ref)
 		})

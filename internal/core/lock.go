@@ -21,16 +21,15 @@ func (c *Coordinator) lockAcquire(t sim.Time, core int, addr uint64, done func(s
 		return
 	}
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			c.masterLockCoreAcquire(pt, core, addr, done, nil)
-		})
+		o := c.op(opMasterCoreAcquire)
+		o.core, o.addr, o.done = core, addr, done
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		c.lockEnqueueAt(pt, local, core, addr, done)
-	})
+	o := c.op(opLockEnqueue)
+	o.nd, o.core, o.addr, o.done = local, core, addr, done
+	c.coreToNode(t, core, local, addr, o.fn)
 }
 
 // lockEnqueueAt runs the local-SE side of an acquire after message
@@ -41,9 +40,9 @@ func (c *Coordinator) lockEnqueueAt(pt sim.Time, local *node, core int, addr uin
 	if !ok {
 		// Local ST overflow: redirect to the master with overflow opcodes.
 		local.memEnter(addr)
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			c.masterLockCoreAcquire(mt, core, addr, done, local)
-		})
+		o := c.op(opMasterCoreAcquire)
+		o.core, o.addr, o.done, o.nd = core, addr, done, local
+		c.nodeToNode(pt, local, master, addr, o.fn)
 		return
 	}
 	ls.waiters = append(ls.waiters, pend{core: core, done: done})
@@ -52,9 +51,9 @@ func (c *Coordinator) lockEnqueueAt(pt sim.Time, local *node, core int, addr uin
 		c.grantNextLocal(pt, local, ls)
 	case !ls.owning && !ls.requested:
 		ls.requested = true
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			c.masterLockNodeAcquire(mt, local, addr)
-		})
+		o := c.op(opMasterNodeAcquire)
+		o.nd, o.addr = local, addr
+		c.nodeToNode(pt, local, master, addr, o.fn)
 	}
 }
 
@@ -62,7 +61,11 @@ func (c *Coordinator) lockEnqueueAt(pt sim.Time, local *node, core int, addr uin
 // list (lock_grant_local).
 func (c *Coordinator) grantNextLocal(t sim.Time, local *node, ls *localState) {
 	w := ls.waiters[0]
-	ls.waiters = ls.waiters[1:]
+	// Shift down instead of re-slicing so the pooled state keeps its full
+	// backing-array capacity across episodes.
+	k := copy(ls.waiters, ls.waiters[1:])
+	ls.waiters[k] = pend{}
+	ls.waiters = ls.waiters[:k]
 	ls.holderActive = true
 	ls.grants++
 	c.nodeToCore(t, local, w.core, w.done)
@@ -75,16 +78,15 @@ func (c *Coordinator) lockRelease(t sim.Time, core int, addr uint64) {
 		return
 	}
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			c.masterLockCoreRelease(pt, addr)
-		})
+		o := c.op(opMasterCoreRelease)
+		o.addr = addr
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		c.lockReleaseAt(pt, local, core, addr)
-	})
+	o := c.op(opLockReleaseAt)
+	o.nd, o.core, o.addr = local, core, addr
+	c.coreToNode(t, core, local, addr, o.fn)
 }
 
 // lockReleaseAt runs the local-SE side of a release after message processing
@@ -95,9 +97,9 @@ func (c *Coordinator) lockReleaseAt(pt sim.Time, local *node, core int, addr uin
 	if ls == nil || !ls.owning || !ls.holderActive {
 		// The acquire was serviced via the master (overflow mode): redirect
 		// the release there too.
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			c.masterLockCoreRelease(mt, addr)
-		})
+		o := c.op(opMasterCoreRelease)
+		o.addr = addr
+		c.nodeToNode(pt, local, master, addr, o.fn)
 		return
 	}
 	ls.holderActive = false
@@ -115,9 +117,9 @@ func (c *Coordinator) lockReleaseAt(pt sim.Time, local *node, core int, addr uin
 		ls.requested = false
 		local.localDrop(pt, addr)
 	}
-	c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-		c.masterLockNodeRelease(mt, local, addr, requeue)
-	})
+	o := c.op(opMasterNodeRelease)
+	o.nd, o.addr, o.flag = local, addr, requeue
+	c.nodeToNode(pt, local, master, addr, o.fn)
 }
 
 // masterLockNodeAcquire handles a global lock_acquire from a local SE.
@@ -193,7 +195,10 @@ func (c *Coordinator) masterLockGrantNext(t sim.Time, ms *masterState, addr uint
 		}
 	}
 	ref := ms.queue[idx]
-	ms.queue = append(ms.queue[:idx], ms.queue[idx+1:]...)
+	last := len(ms.queue) - 1
+	copy(ms.queue[idx:], ms.queue[idx+1:])
+	ms.queue[last] = holderRef{}
+	ms.queue = ms.queue[:last]
 	ms.lockHeld = true
 	if ref.node != nil {
 		c.grantLockToNode(t, ref.node, addr)
@@ -205,22 +210,26 @@ func (c *Coordinator) masterLockGrantNext(t sim.Time, ms *masterState, addr uint
 // grantLockToNode sends lock_grant_global to a local SE, which then serves
 // its local waiting list.
 func (c *Coordinator) grantLockToNode(t sim.Time, to *node, addr uint64) {
-	master := c.masterNode(addr)
-	c.nodeToNode(t, master, to, addr, func(lt sim.Time) {
-		ls := to.locals[addr]
-		if ls == nil {
-			// All local waiters vanished (can only happen via fairness
-			// requeue races); bounce the lock back.
-			c.nodeToNode(lt, to, master, addr, func(mt sim.Time) {
-				c.masterLockNodeRelease(mt, to, addr, false)
-			})
-			return
-		}
-		ls.owning = true
-		if len(ls.waiters) > 0 && !ls.holderActive {
-			c.grantNextLocal(lt, to, ls)
-		}
-	})
+	o := c.op(opGrantNodeArrived)
+	o.nd, o.addr = to, addr
+	c.nodeToNode(t, c.masterNode(addr), to, addr, o.fn)
+}
+
+// grantLockNodeArrived runs at the local SE when lock_grant_global arrives.
+func (c *Coordinator) grantLockNodeArrived(lt sim.Time, to *node, addr uint64) {
+	ls := to.locals[addr]
+	if ls == nil {
+		// All local waiters vanished (can only happen via fairness requeue
+		// races); bounce the lock back.
+		o := c.op(opMasterNodeRelease)
+		o.nd, o.addr, o.flag = to, addr, false
+		c.nodeToNode(lt, to, c.masterNode(addr), addr, o.fn)
+		return
+	}
+	ls.owning = true
+	if len(ls.waiters) > 0 && !ls.holderActive {
+		c.grantNextLocal(lt, to, ls)
+	}
 }
 
 // grantLockToCore sends the grant to a single core, through its overflowed
@@ -232,9 +241,9 @@ func (c *Coordinator) grantLockToCore(t sim.Time, addr uint64, ref holderRef) {
 	}
 	master := c.masterNode(addr)
 	if ref.relay != nil && ref.relay != master {
-		c.nodeToNode(t, master, ref.relay, addr, func(rt sim.Time) {
-			c.nodeToCore(rt, ref.relay, ref.core, ref.done)
-		})
+		o := c.op(opRelayGrant)
+		o.nd, o.core, o.done = ref.relay, ref.core, ref.done
+		c.nodeToNode(t, master, ref.relay, addr, o.fn)
 		return
 	}
 	c.nodeToCore(t, master, ref.core, ref.done)

@@ -7,27 +7,33 @@ import "syncron/internal/sim"
 // paper leaves this to future work; we implement it behind the same routing
 // machinery so it can be exercised and benchmarked.
 func (c *Coordinator) fetchAdd(t sim.Time, core int, addr uint64, delta uint64, done func(sim.Time)) {
-	master := c.masterNode(addr)
-	apply := func(mt sim.Time, relay *node) {
-		ms := c.master(addr)
-		c.masterHold(mt, ms)
-		ms.rmwValue += delta
-		if relay != nil && relay != master {
-			c.nodeToNode(mt, master, relay, addr, func(rt sim.Time) {
-				c.nodeToCore(rt, relay, core, done)
-			})
-			return
-		}
-		c.nodeToCore(mt, master, core, done)
-	}
 	if !c.hierarchical() {
-		c.coreToNode(t, core, master, addr, func(pt sim.Time) { apply(pt, nil) })
+		o := c.op(opFetchAddApply)
+		o.core, o.addr, o.addr2, o.done = core, addr, delta, done
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) { apply(mt, local) })
-	})
+	o := c.op(opForwardMaster)
+	o.kind2 = opFetchAddApply
+	o.nd, o.core, o.addr, o.addr2, o.done = local, core, addr, delta, done
+	c.coreToNode(t, core, local, addr, o.fn)
+}
+
+// fetchAddApply executes the RMW in the Master SE and sends the response,
+// through the waiter's relaying SE when the request was relayed.
+func (c *Coordinator) fetchAddApply(mt sim.Time, core int, addr, delta uint64, done func(sim.Time), relay *node) {
+	master := c.masterNode(addr)
+	ms := c.master(addr)
+	c.masterHold(mt, ms)
+	ms.rmwValue += delta
+	if relay != nil && relay != master {
+		o := c.op(opRelayGrant)
+		o.nd, o.core, o.done = relay, core, done
+		c.nodeToNode(mt, master, relay, addr, o.fn)
+		return
+	}
+	c.nodeToCore(mt, master, core, done)
 }
 
 // RMWValue returns the accumulated fetch-add value for addr (testing hook).

@@ -12,37 +12,31 @@ import "syncron/internal/sim"
 // count, communicated on first touch (MessageInfo).
 func (c *Coordinator) semWait(t sim.Time, core int, addr uint64, initial int, done func(sim.Time)) {
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			c.masterSemWait(pt, addr, initial, holderRef{core: core, done: done})
-		})
+		o := c.op(opMasterSemWait)
+		o.addr, o.n, o.core, o.done = addr, initial, core, done
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	master := c.masterNode(addr)
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			c.masterSemWait(mt, addr, initial, holderRef{core: core, done: done, relay: local})
-		})
-	})
+	o := c.op(opForwardMaster)
+	o.kind2 = opMasterSemWait
+	o.nd, o.addr, o.n, o.core, o.done = local, addr, initial, core, done
+	c.coreToNode(t, core, local, addr, o.fn)
 }
 
 // semPost handles sem_post.
 func (c *Coordinator) semPost(t sim.Time, core int, addr uint64) {
 	if !c.hierarchical() {
-		m := c.masterNode(addr)
-		c.coreToNode(t, core, m, addr, func(pt sim.Time) {
-			c.masterSemPost(pt, addr)
-		})
+		o := c.op(opMasterSemPost)
+		o.addr = addr
+		c.coreToNode(t, core, c.masterNode(addr), addr, o.fn)
 		return
 	}
 	local := c.nodes[c.m.UnitOf(core)]
-	master := c.masterNode(addr)
-	c.coreToNode(t, core, local, addr, func(pt sim.Time) {
-		c.nodeToNode(pt, local, master, addr, func(mt sim.Time) {
-			c.masterSemPost(mt, addr)
-		})
-	})
+	o := c.op(opForwardMaster)
+	o.kind2 = opMasterSemPost
+	o.nd, o.addr = local, addr
+	c.coreToNode(t, core, local, addr, o.fn)
 }
 
 func (c *Coordinator) masterSemWait(t sim.Time, addr uint64, initial int, ref holderRef) {
@@ -71,7 +65,9 @@ func (c *Coordinator) masterSemPost(t sim.Time, addr uint64) {
 	}
 	if len(ms.semQ) > 0 {
 		ref := ms.semQ[0]
-		ms.semQ = ms.semQ[1:]
+		k := copy(ms.semQ, ms.semQ[1:])
+		ms.semQ[k] = holderRef{}
+		ms.semQ = ms.semQ[:k]
 		c.semGrant(t, addr, ref)
 		return
 	}
@@ -82,9 +78,9 @@ func (c *Coordinator) masterSemPost(t sim.Time, addr uint64) {
 func (c *Coordinator) semGrant(t sim.Time, addr uint64, ref holderRef) {
 	master := c.masterNode(addr)
 	if ref.relay != nil && ref.relay != master {
-		c.nodeToNode(t, master, ref.relay, addr, func(rt sim.Time) {
-			c.nodeToCore(rt, ref.relay, ref.core, ref.done)
-		})
+		o := c.op(opRelayGrant)
+		o.nd, o.core, o.done = ref.relay, ref.core, ref.done
+		c.nodeToNode(t, master, ref.relay, addr, o.fn)
 		return
 	}
 	c.nodeToCore(t, master, ref.core, ref.done)

@@ -52,6 +52,8 @@ type masterState struct {
 
 	// rmw extension
 	rmwValue uint64
+
+	next *masterState // freelist link (see pool.go)
 }
 
 func (ms *masterState) idle() bool {
@@ -73,17 +75,27 @@ type localState struct {
 
 	// barriers
 	barWaiters []pend
+
+	next *localState // freelist link (see pool.go)
 }
 
 func (ls *localState) idle() bool {
 	return len(ls.waiters) == 0 && !ls.owning && !ls.requested && len(ls.barWaiters) == 0
 }
 
-// master returns (creating if needed) the global state for addr.
+// master returns (creating if needed) the global state for addr. Freed
+// states are recycled through a pool so steady-state episodes reuse their
+// slices' and map's capacity instead of reallocating per episode.
 func (c *Coordinator) master(addr uint64) *masterState {
 	ms, ok := c.vars[addr]
 	if !ok {
-		ms = &masterState{addr: addr, overflowSEs: make(map[*node]bool)}
+		if ms = c.freeMasters; ms != nil {
+			c.freeMasters = ms.next
+			ms.next = nil
+			ms.addr = addr
+		} else {
+			ms = &masterState{addr: addr, overflowSEs: make(map[*node]bool)}
+		}
 		c.vars[addr] = ms
 	}
 	return ms
@@ -125,15 +137,25 @@ func (c *Coordinator) masterFree(t sim.Time, ms *masterState) {
 		n.memExit(ms.addr)
 	}
 	for se := range ms.overflowSEs {
-		se := se
 		// decrease_indexing_counter message to the overflowed SE.
-		c.nodeToNode(t, n, se, ms.addr, func(at sim.Time) { se.memExit(ms.addr) })
+		o := c.op(opMemExit)
+		o.nd, o.addr = se, ms.addr
+		c.nodeToNode(t, n, se, ms.addr, o.fn)
+		delete(ms.overflowSEs, se)
 	}
-	ms.overflowSEs = make(map[*node]bool)
 	if ms.fallback {
 		c.exitFallback(t, ms)
 	}
 	delete(c.vars, ms.addr)
+	// Recycle: idle() plus the resets above leave every semantic field at
+	// its zero value except the sem/rmw scalars, which a fresh state would
+	// also start from zero (they are discarded on free today too).
+	ms.addr = 0
+	ms.semInit = false
+	ms.semCount = 0
+	ms.rmwValue = 0
+	ms.next = c.freeMasters
+	c.freeMasters = ms
 }
 
 // localOf returns (creating if needed) node n's local state for addr,
@@ -146,7 +168,15 @@ func (n *node) localOf(t sim.Time, addr uint64) (*localState, bool) {
 	if !n.acquireRef(t, addr) {
 		return nil, false
 	}
-	ls := &localState{addr: addr}
+	c := n.c
+	ls := c.freeLocals
+	if ls == nil {
+		ls = &localState{}
+	} else {
+		c.freeLocals = ls.next
+		ls.next = nil
+	}
+	ls.addr = addr
 	n.locals[addr] = ls
 	return ls, true
 }
@@ -159,4 +189,9 @@ func (n *node) localDrop(t sim.Time, addr uint64) {
 	}
 	delete(n.locals, addr)
 	n.releaseRef(t, addr)
+	// Recycle through the pool, keeping the waiter slices' capacity. idle()
+	// guarantees both are empty; the scalar flags are reset explicitly.
+	c := n.c
+	*ls = localState{waiters: ls.waiters[:0], barWaiters: ls.barWaiters[:0], next: c.freeLocals}
+	c.freeLocals = ls
 }

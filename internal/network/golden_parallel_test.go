@@ -49,7 +49,7 @@ func goldenTraceEngine(workers int) string {
 		})
 	}
 	eng.Run()
-	fmt.Fprintf(&b, "intra %d inter %d\n", net.Stats.IntraBits.Value(), net.Stats.InterBits.Value())
+	fmt.Fprintf(&b, "intra %d inter %d\n", net.IntraBits(), net.Stats.InterBits.Value())
 	return b.String()
 }
 

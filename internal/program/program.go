@@ -51,6 +51,7 @@ type op struct {
 
 type proc struct {
 	id       int
+	unit     int // NDP unit of the core
 	opCh     chan op
 	resCh    chan sim.Time
 	startCh  chan struct{} // closed by the engine's first step for this core
@@ -58,10 +59,23 @@ type proc struct {
 	done     bool
 	finishAt sim.Time
 
-	// stepFn and resumeFn are bound once at launch so the per-operation hot
-	// path schedules without allocating a fresh closure per event.
-	stepFn   func(sim.Time)
-	resumeFn func(sim.Time)
+	// eventUnit is the engine unit the core's step/resume events are tagged
+	// with: CoreUnit(id) when the runner tags core units, -1 (serial barrier)
+	// otherwise.
+	eventUnit int
+
+	// The callbacks below are bound once at launch so the per-operation hot
+	// path schedules without allocating a fresh closure per event. pend and
+	// issued are the arena for the in-flight operation (in-order blocking
+	// cores have at most one), which is what lets memFn/syncFn/grantFn be
+	// prebound instead of capturing per-op state.
+	stepFn   sim.UnitFunc
+	resumeFn sim.UnitFunc
+	memFn    sim.UnitFunc        // deferred memory access (pend)
+	syncFn   sim.UnitFunc        // deferred synchronization request (pend)
+	grantFn  func(done sim.Time) // backend grant callback for pend
+	pend     op
+	issued   sim.Time
 
 	// statistics
 	Instrs   uint64
@@ -79,9 +93,28 @@ type Runner struct {
 	next  int
 
 	// CheckLocks enables the built-in mutual-exclusion checker (on by
-	// default): Ctx.Lock/Unlock verify that no two cores ever hold the same
-	// lock and that unlocks match the holder.
+	// default): lock acquire/release/cond_wait requests verify that no two
+	// cores ever hold the same lock and that releases match the holder. The
+	// checker runs engine-side (release checks at issue time, acquire checks
+	// at grant time), so it is safe under the parallel dispatcher: sync
+	// requests always issue from serial-barrier events.
 	CheckLocks bool
+
+	// TagCoreUnits tags every core's step/resume events with CoreUnit(core),
+	// letting same-timestamp events of different cores run concurrently under
+	// the parallel dispatcher (sim.Engine.SetParallelism). Own-unit memory
+	// accesses are deferred to ResourceUnit-tagged events and synchronization
+	// requests to serial barriers, so each event touches only its owner's
+	// state.
+	//
+	// Legality is a property of the *programs*: host code between two
+	// operations of different cores may run concurrently (with happens-before
+	// edges only through the op channels), so every shared host variable must
+	// be protected by simulated locks/barriers. Workloads that read shared
+	// state outside critical sections (optimistic searches, unlocked reads)
+	// must leave this off — they keep today's serial-barrier behavior, which
+	// is identical on both dispatchers. Must be set before Run.
+	TagCoreUnits bool
 
 	holders map[uint64]int // lock addr -> core id
 
@@ -143,12 +176,36 @@ func (r *Runner) Run() sim.Time {
 		if pg == nil {
 			continue
 		}
-		p := &proc{id: i, opCh: make(chan op), resCh: make(chan sim.Time),
-			startCh: make(chan struct{})}
-		p.stepFn = func(sim.Time) { r.step(p) }
-		p.resumeFn = func(at sim.Time) {
+		p := &proc{id: i, unit: r.M.UnitOf(i), opCh: make(chan op),
+			resCh: make(chan sim.Time), startCh: make(chan struct{})}
+		p.eventUnit = -1
+		if r.TagCoreUnits {
+			p.eventUnit = r.M.CoreUnit(i)
+		}
+		p.stepFn = func(ctx *sim.UnitCtx, at sim.Time) { r.step(ctx, p, at) }
+		p.resumeFn = func(ctx *sim.UnitCtx, at sim.Time) {
 			p.resCh <- at
-			r.step(p)
+			r.step(ctx, p, at)
+		}
+		p.memFn = func(ctx *sim.UnitCtx, at sim.Time) {
+			o := p.pend
+			fin := r.M.CoreAccess(at, p.id, o.addr, o.kind == opWrite)
+			ctx.Schedule(fin, p.eventUnit, p.resumeFn)
+		}
+		p.syncFn = func(_ *sim.UnitCtx, at sim.Time) { r.issueSync(p, at) }
+		p.grantFn = func(done sim.Time) {
+			req := p.pend.req
+			if done < p.issued {
+				panic(fmt.Sprintf("program: backend %s granted at %v before request at %v",
+					r.M.Backend.Name(), done, p.issued))
+			}
+			if req.Op.Blocking() {
+				p.SyncWait += done - p.issued
+			}
+			r.checkGrant(p, req, done)
+			// Grant callbacks run inside backend events, which are serial
+			// barriers with full engine access.
+			r.M.Engine.ScheduleUnit(done, p.eventUnit, p.resumeFn)
 		}
 		r.procs = append(r.procs, p)
 		ctx := &Ctx{ID: i, Unit: r.M.UnitOf(i), RNG: r.M.RNG.Fork(), r: r, p: p}
@@ -174,7 +231,7 @@ func (r *Runner) Run() sim.Time {
 		}(pg, ctx)
 	}
 	for _, p := range r.procs {
-		eng.Schedule(0, p.stepFn)
+		eng.ScheduleUnit(0, p.eventUnit, p.stepFn)
 	}
 	eng.Run()
 	r.panicMu.Lock()
@@ -195,9 +252,15 @@ func (r *Runner) Run() sim.Time {
 	return makespan
 }
 
-// step fetches the next operation from core p's program and models it. It is
-// called from engine event context.
-func (r *Runner) step(p *proc) {
+// step fetches the next operation from core p's program and models it. It
+// runs as an engine event tagged with the core's eventUnit: a CoreUnit event
+// may only touch the core's own state (proc fields, its L1), so anything
+// heavier is deferred to a same-timestamp event on its owner — the core's
+// ResourceUnit for own-unit memory accesses, a serial barrier for cross-unit
+// accesses and synchronization requests. Untagged cores (eventUnit < 0) run
+// as barriers and model everything inline, which is byte-identical to the
+// pre-unit-tagging behavior.
+func (r *Runner) step(ctx *sim.UnitCtx, p *proc, at sim.Time) {
 	if !p.started {
 		p.started = true
 		close(p.startCh)
@@ -205,42 +268,94 @@ func (r *Runner) step(p *proc) {
 	o, ok := <-p.opCh
 	if !ok {
 		p.done = true
-		p.finishAt = r.M.Engine.Now()
+		p.finishAt = at
 		return
 	}
-	now := r.M.Engine.Now()
 	switch o.kind {
 	case opCompute:
 		p.Instrs += uint64(o.n)
-		r.resumeAt(p, now+r.M.CoreClock.Cycles(o.n))
-	case opRead:
-		p.Reads++
-		r.resumeAt(p, r.M.CoreAccess(now, p.id, o.addr, false))
-	case opWrite:
-		p.Writes++
-		r.resumeAt(p, r.M.CoreAccess(now, p.id, o.addr, true))
+		ctx.Schedule(at+r.M.CoreClock.Cycles(o.n), p.eventUnit, p.resumeFn)
+	case opRead, opWrite:
+		write := o.kind == opWrite
+		if write {
+			p.Writes++
+		} else {
+			p.Reads++
+		}
+		if p.eventUnit < 0 {
+			ctx.Schedule(r.M.CoreAccess(at, p.id, o.addr, write), p.eventUnit, p.resumeFn)
+			return
+		}
+		switch r.M.ClassifyCoreAccess(p.id, o.addr, write) {
+		case arch.AccessL1Hit:
+			// The hit path touches only the core's own L1; model it here.
+			ctx.Schedule(r.M.CoreAccess(at, p.id, o.addr, write), p.eventUnit, p.resumeFn)
+		case arch.AccessOwnUnit:
+			p.pend = o
+			ctx.Schedule(at, r.M.ResourceUnit(p.unit), p.memFn)
+		default: // AccessCrossUnit
+			p.pend = o
+			ctx.Schedule(at, -1, p.memFn)
+		}
 	case opSync:
 		p.SyncOps++
-		issued := now
-		r.M.Backend.Request(now, p.id, o.req, func(done sim.Time) {
-			if done < issued {
-				panic(fmt.Sprintf("program: backend %s granted at %v before request at %v",
-					r.M.Backend.Name(), done, issued))
-			}
-			if o.req.Op.Blocking() {
-				p.SyncWait += done - issued
-			}
-			r.resumeAt(p, done)
-		})
+		p.pend = o
+		if p.eventUnit < 0 {
+			r.issueSync(p, at)
+			return
+		}
+		ctx.Schedule(at, -1, p.syncFn)
 	}
 }
 
-// resumeAt hands control back to the program at time t and then fetches its
-// next operation. The scheduled callback is the proc's prebound resumeFn (it
-// receives t from the engine), so the per-operation hot path allocates no
-// closures.
-func (r *Runner) resumeAt(p *proc, t sim.Time) {
-	r.M.Engine.Schedule(t, p.resumeFn)
+// issueSync submits the core's pending synchronization request to the
+// backend. Always called from serial-barrier context: the backend and the
+// lock checker touch global state.
+func (r *Runner) issueSync(p *proc, at sim.Time) {
+	p.issued = at
+	r.checkIssue(p, p.pend.req)
+	r.M.Backend.Request(at, p.id, p.pend.req, p.grantFn)
+}
+
+// checkIssue runs the release-side lock checks when a sync request is issued.
+func (r *Runner) checkIssue(p *proc, req arch.SyncReq) {
+	if !r.CheckLocks {
+		return
+	}
+	switch req.Op {
+	case arch.OpLockRelease:
+		if h, held := r.holders[req.Addr]; !held || h != p.id {
+			r.violation("core %d released lock %#x it does not hold (holder %d, held=%v)",
+				p.id, req.Addr, h, held)
+		}
+		delete(r.holders, req.Addr)
+	case arch.OpCondWait:
+		if h, held := r.holders[req.Lock]; !held || h != p.id {
+			r.violation("core %d cond_wait on %#x without holding lock %#x", p.id, req.Addr, req.Lock)
+		}
+		delete(r.holders, req.Lock)
+	}
+}
+
+// checkGrant runs the acquire-side lock checks when the backend grants a sync
+// request. Grant callbacks come from backend events (serial barriers).
+func (r *Runner) checkGrant(p *proc, req arch.SyncReq, at sim.Time) {
+	if !r.CheckLocks {
+		return
+	}
+	switch req.Op {
+	case arch.OpLockAcquire:
+		if h, held := r.holders[req.Addr]; held {
+			r.violation("mutual exclusion violated: lock %#x granted to core %d while held by %d at %v",
+				req.Addr, p.id, h, at)
+		}
+		r.holders[req.Addr] = p.id
+	case arch.OpCondWait:
+		if h, held := r.holders[req.Lock]; held {
+			r.violation("cond_wait woke core %d with lock %#x held by %d", p.id, req.Lock, h)
+		}
+		r.holders[req.Lock] = p.id
+	}
 }
 
 // violation reports a checker failure.
@@ -280,27 +395,14 @@ func (c *Ctx) Write(addr uint64) { c.do(op{kind: opWrite, addr: addr}) }
 func (c *Ctx) Sync(req arch.SyncReq) { c.do(op{kind: opSync, req: req}) }
 
 // Lock acquires the lock at addr (req_sync lock_acquire). When the runner's
-// checker is on, it verifies mutual exclusion.
+// checker is on, mutual exclusion is verified engine-side at grant time.
 func (c *Ctx) Lock(addr uint64) {
 	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpLockAcquire, Addr: addr}})
-	if c.r.CheckLocks {
-		if h, held := c.r.holders[addr]; held {
-			c.r.violation("mutual exclusion violated: lock %#x granted to core %d while held by %d at %v",
-				addr, c.ID, h, c.now)
-		}
-		c.r.holders[addr] = c.ID
-	}
 }
 
-// Unlock releases the lock at addr (req_async lock_release).
+// Unlock releases the lock at addr (req_async lock_release). The checker
+// verifies the release against the holder engine-side at issue time.
 func (c *Ctx) Unlock(addr uint64) {
-	if c.r.CheckLocks {
-		if h, held := c.r.holders[addr]; !held || h != c.ID {
-			c.r.violation("core %d released lock %#x it does not hold (holder %d, held=%v)",
-				c.ID, addr, h, held)
-		}
-		delete(c.r.holders, addr)
-	}
 	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpLockRelease, Addr: addr}})
 }
 
@@ -326,21 +428,10 @@ func (c *Ctx) SemPost(addr uint64) {
 }
 
 // CondWait atomically releases lock and waits on the condition variable at
-// addr; the lock is re-acquired before return.
+// addr; the lock is re-acquired before return. The checker verifies the
+// release at issue time and the re-acquisition at wakeup, engine-side.
 func (c *Ctx) CondWait(addr, lock uint64) {
-	if c.r.CheckLocks {
-		if h, held := c.r.holders[lock]; !held || h != c.ID {
-			c.r.violation("core %d cond_wait on %#x without holding lock %#x", c.ID, addr, lock)
-		}
-		delete(c.r.holders, lock)
-	}
 	c.do(op{kind: opSync, req: arch.SyncReq{Op: arch.OpCondWait, Addr: addr, Lock: lock}})
-	if c.r.CheckLocks {
-		if h, held := c.r.holders[lock]; held {
-			c.r.violation("cond_wait woke core %d with lock %#x held by %d", c.ID, lock, h)
-		}
-		c.r.holders[lock] = c.ID
-	}
 }
 
 // CondSignal wakes one waiter of the condition variable at addr.

@@ -1,0 +1,135 @@
+package program
+
+import (
+	"testing"
+
+	"syncron/internal/arch"
+	"syncron/internal/sim"
+)
+
+// With TagCoreUnits, the steady-state hot path — compute, L1 hits, and
+// own-unit memory misses — must schedule NO serial-barrier events: every
+// event carries an owning unit, so the parallel dispatcher never has to
+// fence the whole machine. sim.Engine.ExecutedBarriers is the hook; it is
+// maintained by the serial and parallel dispatchers alike.
+func TestTaggedHotPathSchedulesNoBarriers(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		m := newM()
+		m.Engine.SetParallelism(workers)
+		r := NewRunner(m)
+		r.TagCoreUnits = true
+		n := m.NumCores()
+		// Each core hammers a cacheable line homed on its OWN unit: a cold
+		// own-unit miss, then L1 hits — plus compute. No synchronization.
+		addrs := make([]uint64, n)
+		for c := 0; c < n; c++ {
+			addrs[c] = m.Alloc(m.UnitOf(c), 64)
+		}
+		r.AddN(n, func(c int) Program {
+			return func(ctx *Ctx) {
+				for i := 0; i < 50; i++ {
+					ctx.Compute(10)
+					ctx.Read(addrs[c])
+					ctx.Write(addrs[c])
+				}
+			}
+		})
+		r.Run()
+		if got := m.Engine.ExecutedBarriers; got != 0 {
+			t.Errorf("workers=%d: hot path executed %d serial-barrier events, want 0 (of %d total)",
+				workers, got, m.Engine.Executed)
+		}
+		if m.Engine.Executed == 0 {
+			t.Fatalf("workers=%d: vacuous run, no events executed", workers)
+		}
+	}
+}
+
+// Synchronization still fences: each sync op costs a bounded number of
+// barrier events (issue + backend grant), independent of how much tagged
+// compute/memory work surrounds it. This pins the ownership split — sync
+// protocol serial, everything else unit-owned.
+func TestTaggedSyncBarriersAreBounded(t *testing.T) {
+	m := newM()
+	r := NewRunner(m)
+	r.TagCoreUnits = true
+	n := m.NumCores()
+	lock := m.Alloc(0, 64)
+	const rounds = 20
+	r.AddN(n, func(c int) Program {
+		return func(ctx *Ctx) {
+			for i := 0; i < rounds; i++ {
+				ctx.Compute(50)
+				ctx.Lock(lock)
+				ctx.Unlock(lock)
+			}
+		}
+	})
+	r.Run()
+	syncOps := uint64(n * rounds * 2)
+	// Issue barrier + grant event per sync op, plus the backend's own
+	// events; 4x leaves room for queue hand-off without letting per-access
+	// barriers sneak back in (the compute events alone number n*rounds).
+	if got, max := m.Engine.ExecutedBarriers, 4*syncOps; got > max {
+		t.Errorf("%d sync ops executed %d barrier events, want <= %d", syncOps, got, max)
+	}
+	if m.Engine.ExecutedBarriers == 0 {
+		t.Error("sync ops executed zero barrier events; issue path lost its fence")
+	}
+}
+
+// Untagged runners keep the PR-7 behavior: every program event is a serial
+// barrier. This is the baseline the two tests above are measured against.
+func TestUntaggedRunKeepsBarrierEvents(t *testing.T) {
+	m := newM()
+	r := NewRunner(m)
+	r.AddN(m.NumCores(), func(int) Program {
+		return func(ctx *Ctx) {
+			for i := 0; i < 10; i++ {
+				ctx.Compute(10)
+			}
+		}
+	})
+	r.Run()
+	if m.Engine.ExecutedBarriers != m.Engine.Executed {
+		t.Errorf("untagged run: %d of %d events were barriers, want all",
+			m.Engine.ExecutedBarriers, m.Engine.Executed)
+	}
+}
+
+// Tagged and untagged runs of the same program must report identical
+// simulated timing: unit tagging moves events between dispatcher lanes,
+// never across simulated time.
+func TestTaggingDoesNotChangeTiming(t *testing.T) {
+	run := func(tagged bool, workers int) sim.Time {
+		m := arch.NewMachine(arch.Config{Units: 2, CoresPerUnit: 2})
+		m.Backend = &instantBackend{}
+		m.Engine.SetParallelism(workers)
+		r := NewRunner(m)
+		r.TagCoreUnits = tagged
+		n := m.NumCores()
+		lock := m.Alloc(0, 64)
+		addrs := make([]uint64, n)
+		for c := 0; c < n; c++ {
+			addrs[c] = m.Alloc(m.UnitOf(c), 64)
+		}
+		r.AddN(n, func(c int) Program {
+			return func(ctx *Ctx) {
+				for i := 0; i < 30; i++ {
+					ctx.Compute(20)
+					ctx.Read(addrs[c])
+					ctx.Lock(lock)
+					ctx.Write(addrs[(c+1)%n]) // cross-unit for half the cores
+					ctx.Unlock(lock)
+				}
+			}
+		})
+		return r.Run()
+	}
+	want := run(false, 0)
+	for _, workers := range []int{0, 2, 4} {
+		if got := run(true, workers); got != want {
+			t.Errorf("tagged run (workers=%d) makespan %v, untagged %v", workers, got, want)
+		}
+	}
+}

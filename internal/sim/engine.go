@@ -86,10 +86,25 @@ type Engine struct {
 
 	par  *parRuntime // non-nil selects the parallel dispatcher (SetParallelism)
 	sctx *UnitCtx    // lazily built direct-mode context for serial UnitFunc calls
+	ictx *UnitCtx    // lazily built inline-phase context (see runPhaseInline)
 
 	// Executed counts events run since construction; useful in tests, as a
 	// runaway guard, and as the events/sec numerator of macro-benchmarks.
 	Executed uint64
+
+	// ExecutedBarriers counts executed events that had no owning unit (plain
+	// Schedule, or ScheduleUnit with a negative unit). Under the parallel
+	// dispatcher these are serial barriers; the counter is the test hook that
+	// lets model layers assert their steady-state hot path stays unit-tagged.
+	// It is maintained by both dispatchers, so assertions hold in serial runs.
+	ExecutedBarriers uint64
+
+	// CrossUnitCancels counts worker-buffered Cancels whose committed target
+	// belonged to a different unit than the cancelling event. Cross-unit
+	// cancels of future events are legal (and counted); cross-unit cancels of
+	// same-timestamp events panic by contract. Model-layer audits pin this
+	// counter at zero over full workload grids.
+	CrossUnitCancels uint64
 
 	// MaxEvents aborts the run (with a panic) when exceeded; 0 means no limit.
 	MaxEvents uint64
@@ -369,6 +384,9 @@ func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 			continue
 		}
 		fn, ufn := s.fn, s.ufn
+		if s.unit < 0 {
+			e.ExecutedBarriers++
+		}
 		// Recycle before running: a callback that immediately reschedules (the
 		// common zero-delay handoff) reuses the slot it just vacated.
 		e.freeSlot(slot)

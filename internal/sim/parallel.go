@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -49,6 +48,13 @@ type UnitFunc func(ctx *UnitCtx, at Time)
 type UnitCtx struct {
 	e *Engine
 	w *parWorker // nil in direct mode
+
+	// inline marks the direct-mode context used by runPhaseInline: Schedules
+	// forward to the engine immediately, but Cancels go through the committed
+	// cancel path so the cross-unit same-timestamp contract is enforced
+	// identically whether a segment ran inline or on workers.
+	inline     bool
+	parentUnit int32 // inline mode: unit of the currently running event
 
 	parentSeq uint64 // seq of the currently running event
 	opIdx     int32  // calls made so far by the currently running event
@@ -106,7 +112,11 @@ func (c *UnitCtx) After(d Time, unit int, fn UnitFunc) Handle {
 // event of a different unit is rejected, see the package comment above.
 func (c *UnitCtx) Cancel(h Handle) {
 	if c.w == nil {
-		c.e.Cancel(h)
+		if c.inline {
+			c.e.cancelCommitted(h, c.parentSeq, c.parentUnit)
+		} else {
+			c.e.Cancel(h)
+		}
 		return
 	}
 	if h.slot == 0 {
@@ -157,6 +167,14 @@ type bufOp struct {
 	parentUnit int32  // Cancel: unit of the cancelling event
 }
 
+// bufOpLess orders buffered ops by (parentSeq, opIdx) — serial call order.
+func bufOpLess(a, b *bufOp) bool {
+	if a.parentSeq != b.parentSeq {
+		return a.parentSeq < b.parentSeq
+	}
+	return a.opIdx < b.opIdx
+}
+
 // parRuntime is the engine's parallel-mode state. Workers are started on
 // entry to a Run/RunUntil and stopped when it returns, persisting across all
 // rounds of the run.
@@ -168,6 +186,7 @@ type parRuntime struct {
 
 	batch  []batchEntry // reused round-to-round
 	commit []bufOp      // reused merge buffer for ordered commits
+	heads  []int        // reused per-worker merge cursors (commitOps)
 
 	pmu      sync.Mutex
 	panicVal any // first worker panic, re-raised on the engine goroutine
@@ -213,23 +232,70 @@ func (e *Engine) dispatchParallel(deadline Time, bounded bool) Time {
 	p.startWorkers(e)
 	defer p.stopWorkers()
 	for !e.stopped {
-		var tNext Time
+		// Fast path: when the global-minimum event is a serial barrier (or a
+		// cancelled slot), run it exactly like the serial dispatcher — no batch
+		// collection, no worker round-trip. Barrier-heavy streams (the
+		// protocol layers) thus execute at serial cost; only a unit-tagged
+		// minimum pays for a parallel round.
+		useNow := e.nowHead < len(e.nowQ)
+		if useNow && len(e.heap) > 0 {
+			ns := &e.slots[e.nowQ[e.nowHead]]
+			if entryLess(e.heap[0], heapEntry{at: ns.at, seq: ns.seq}) {
+				useNow = false
+			}
+		}
+		var slot int32
+		var at Time
 		switch {
-		case e.nowHead < len(e.nowQ):
-			tNext = e.now // the FIFO only ever holds events at the current time
+		case useNow:
+			slot = e.nowQ[e.nowHead]
+			at = e.slots[slot].at
 		case len(e.heap) > 0:
-			tNext = e.heap[0].at
+			slot = e.heap[0].slot
+			at = e.heap[0].at
 		default:
 			return e.now
 		}
-		if bounded && tNext > deadline {
+		if bounded && at > deadline {
 			return e.now
 		}
-		batch := e.collectBatch(tNext)
+		if s := &e.slots[slot]; s.state == slotDead || s.unit < 0 {
+			if useNow {
+				e.nowHead++
+				if e.nowHead == len(e.nowQ) {
+					e.nowQ = e.nowQ[:0]
+					e.nowHead = 0
+				}
+			} else {
+				e.heapPop()
+			}
+			if s.state == slotDead {
+				if !useNow {
+					e.dead--
+				}
+				e.freeSlot(slot)
+				continue
+			}
+			fn, ufn := s.fn, s.ufn
+			e.ExecutedBarriers++
+			e.freeSlot(slot)
+			e.now = at
+			e.Executed++
+			if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
+				panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+			}
+			if ufn != nil {
+				ufn(e.serialCtx(), at)
+			} else {
+				fn(at)
+			}
+			continue
+		}
+		batch := e.collectBatch(at)
 		if len(batch) == 0 {
 			continue // every event at tNext was cancelled
 		}
-		e.now = tNext
+		e.now = at
 		if !e.runBatch(batch) {
 			return e.now // Stop() during the batch; remainder re-queued
 		}
@@ -317,6 +383,7 @@ func (e *Engine) runBarrier(en *batchEntry) {
 	}
 	e.freeSlot(en.slot)
 	e.Executed++
+	e.ExecutedBarriers++
 	if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
 		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
 	}
@@ -327,10 +394,68 @@ func (e *Engine) runBarrier(en *batchEntry) {
 	}
 }
 
+// inlinePhaseMax is the segment size below which a worker round-trip (channel
+// send + WaitGroup wake per worker) costs more than just running the events;
+// such segments execute inline on the engine goroutine instead.
+const inlinePhaseMax = 3
+
+// phaseInlinable reports whether seg would gain nothing from the worker pool:
+// it is tiny, or every entry maps to the same worker anyway (at most one
+// worker would run, serially, with buffering overhead on top).
+func (e *Engine) phaseInlinable(seg []batchEntry) bool {
+	if len(seg) < inlinePhaseMax {
+		return true
+	}
+	w0 := int(seg[0].unit) % e.par.workers
+	for k := 1; k < len(seg); k++ {
+		if int(seg[k].unit)%e.par.workers != w0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runPhaseInline executes a segment of unit-tagged entries directly on the
+// engine goroutine, in seq order with immediate (direct-mode) Schedule/Cancel
+// — exactly the serial dispatcher's semantics, which the worker protocol
+// reproduces anyway, minus the cross-goroutine round-trip.
+func (e *Engine) runPhaseInline(seg []batchEntry) {
+	ctx := e.inlineCtx()
+	for k := range seg {
+		en := &seg[k]
+		if en.skip || e.slots[en.slot].state == slotDead {
+			e.freeSlot(en.slot)
+			continue
+		}
+		e.freeSlot(en.slot)
+		e.Executed++
+		if e.MaxEvents > 0 && e.Executed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+		}
+		ctx.parentSeq = en.seq
+		ctx.parentUnit = en.unit
+		en.ufn(ctx, en.at)
+	}
+}
+
+// inlineCtx returns the engine's persistent inline-mode UnitCtx (see
+// UnitCtx.inline); like serialCtx it is lazily built once so inline phases
+// allocate nothing.
+func (e *Engine) inlineCtx() *UnitCtx {
+	if e.ictx == nil {
+		e.ictx = &UnitCtx{e: e, inline: true}
+	}
+	return e.ictx
+}
+
 // runPhase executes one maximal run of unit-tagged entries on the worker
 // pool, then commits their buffered side effects in deterministic order.
 func (e *Engine) runPhase(seg []batchEntry) {
 	p := e.par
+	if e.phaseInlinable(seg) {
+		e.runPhaseInline(seg)
+		return
+	}
 	// Honor cancellations made by earlier barriers in this batch.
 	for k := range seg {
 		if e.slots[seg[k].slot].state == slotDead {
@@ -374,20 +499,36 @@ func (e *Engine) runPhase(seg []batchEntry) {
 
 // commitOps applies every worker-buffered Schedule/Cancel in (parentSeq,
 // opIdx) order — the order the serial dispatcher would have executed the
-// calls in — assigning seq numbers identical to serial execution.
+// calls in — assigning seq numbers identical to serial execution. Each
+// worker's ops are already sorted by that key (its task is in seq order and
+// opIdx counts up within an event), so a k-way merge of the per-worker runs
+// yields the global order without sort.Slice's reflection allocations —
+// steady-state phases must stay allocation-free.
 func (e *Engine) commitOps() {
 	p := e.par
 	buf := p.commit[:0]
-	for _, w := range p.ws {
-		buf = append(buf, w.ops...)
+	heads := p.heads[:0]
+	for range p.ws {
+		heads = append(heads, 0)
+	}
+	p.heads = heads
+	for {
+		best := -1
+		for i, w := range p.ws {
+			if heads[i] >= len(w.ops) {
+				continue
+			}
+			if best < 0 || bufOpLess(&w.ops[heads[i]], &p.ws[best].ops[heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		buf = append(buf, p.ws[best].ops[heads[best]])
+		heads[best]++
 	}
 	p.commit = buf
-	sort.Slice(buf, func(i, j int) bool {
-		if buf[i].parentSeq != buf[j].parentSeq {
-			return buf[i].parentSeq < buf[j].parentSeq
-		}
-		return buf[i].opIdx < buf[j].opIdx
-	})
 	for _, op := range buf {
 		if op.cancel {
 			e.cancelCommitted(op.h, op.parentSeq, op.parentUnit)
@@ -431,6 +572,9 @@ func (e *Engine) cancelCommitted(h Handle, parentSeq uint64, parentUnit int32) {
 	s := &e.slots[i]
 	if s.gen != h.gen {
 		return
+	}
+	if s.unit != parentUnit {
+		e.CrossUnitCancels++
 	}
 	switch s.state {
 	case slotHeap:

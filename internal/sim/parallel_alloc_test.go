@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Steady-state dispatch must stay allocation-free under the parallel
+// dispatcher too: batch collection, phase partitioning, worker hand-off, and
+// the ordered op commit all reuse their buffers once warmed up. Workers are
+// started and stopped per Run (they must not outlive it), so the contract is
+// amortized within one Run rather than per Engine.Run call: a long run's
+// allocations stay bounded by the fixed start-up cost, independent of how
+// many events execute. This is the parallel twin of
+// TestEngineSteadyStateAllocFree and the contract behind the multi-worker
+// entries of syncron-bench -perf.
+func TestEngineParallelSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	e.SetParallelism(4)
+	const units = 8
+	const rounds = 5000
+
+	// Every round is one same-timestamp batch fanned across 8 units (more
+	// units than workers, so the phase is not inlinable and every worker
+	// gets a task), and each event reschedules itself through its worker
+	// UnitCtx, exercising the buffered-op commit path each round.
+	left := make([]int, units)
+	chains := make([]UnitFunc, units)
+	for u := 0; u < units; u++ {
+		u := u
+		chains[u] = func(ctx *UnitCtx, at Time) {
+			if left[u]--; left[u] > 0 {
+				ctx.Schedule(at+1, u, chains[u])
+			}
+		}
+	}
+	run := func(n int) {
+		at := e.Now() + 1
+		for u := 0; u < units; u++ {
+			left[u] = n
+			e.ScheduleUnit(at, u, chains[u])
+		}
+		e.Run()
+	}
+
+	run(64) // warm up slot arena, batch/phase/commit buffers, worker queues
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run(rounds)
+	runtime.ReadMemStats(&after)
+
+	events := uint64(units * rounds)
+	allocs := after.Mallocs - before.Mallocs
+	// The budget covers the one-time worker start-up of the measured Run
+	// (goroutines + channels, ~20 allocations) and runtime noise; per-event
+	// allocations would blow through it by orders of magnitude.
+	const budget = 200
+	if allocs > budget {
+		t.Errorf("parallel steady state: %d allocs over %d events (%.4f/event), want amortized 0 (budget %d total)",
+			allocs, events, float64(allocs)/float64(events), budget)
+	}
+}

@@ -22,7 +22,7 @@ import (
 )
 
 // WorkerCounts are the parallel worker counts every equivalence check runs,
-// each compared against serial execution (Parallelism 0). 1 exercises the
+// each compared against serial execution (ParallelismSerial). 1 exercises the
 // full partition/commit protocol without concurrency; 8 oversubscribes any
 // CI host so worker scheduling order is maximally perturbed.
 var WorkerCounts = []int{1, 2, 4, 8}
@@ -67,8 +67,9 @@ func (c *memCache) Put(key string, payload []byte) error {
 }
 
 // FiguresQuick runs the full figures-quick grid with the given engine
-// parallelism (0 = serial) and returns the snapshot of its outputs. Any
-// failed run is an error.
+// parallelism (Config.Parallelism semantics: syncron.ParallelismSerial
+// forces serial) and returns the snapshot of its outputs. Any failed run is
+// an error.
 func FiguresQuick(parallelism int) (*Snapshot, error) {
 	opt := syncron.FigureOptions{Quick: true, Parallelism: parallelism}
 	var specs []syncron.RunSpec

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"syncron"
 )
 
 // TestFiguresQuickSerialVsParallel is the headline equivalence proof: the
@@ -13,7 +15,7 @@ import (
 // byte-identical figure Markdown, and identical per-run engine event counts
 // whether the engine dispatches serially or with any parallel worker count.
 func TestFiguresQuickSerialVsParallel(t *testing.T) {
-	serial, err := FiguresQuick(0)
+	serial, err := FiguresQuick(syncron.ParallelismSerial)
 	if err != nil {
 		t.Fatalf("serial baseline: %v", err)
 	}

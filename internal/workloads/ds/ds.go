@@ -49,6 +49,24 @@ func Names() []string {
 		"hashtable", "linkedlist", "bst_fg", "bst_drachsler"}
 }
 
+// ParallelSafe reports whether a structure's host-side program code is safe
+// for per-core event tagging (program.Runner.TagCoreUnits): all shared host
+// state must be accessed inside simulated critical sections, because host
+// code of different cores may then run concurrently between sync points.
+//
+// The optimistic structures read shared nodes outside their locks — stack
+// (pre-lock top probe), skiplist (unlocked search over next pointers and
+// deletion marks), bst_drachsler (lock-free search reading mutable tree
+// links) — so they must stay on serial-barrier events.
+func ParallelSafe(name string) bool {
+	switch name {
+	case "stack", "skiplist", "bst_drachsler":
+		return false
+	default:
+		return true
+	}
+}
+
 // PaperSize returns the Table-6 initial size for a structure.
 func PaperSize(name string) int {
 	switch name {

@@ -98,9 +98,12 @@ func WithSEServiceCycles(cycles int64) Option {
 // WithSeed makes all simulated randomness reproducible.
 func WithSeed(seed uint64) Option { return optionFunc(func(c *Config) { c.Seed = seed }) }
 
-// WithParallelism selects the event engine's parallel dispatcher with n
-// workers for unit-tagged same-timestamp events; 0 (the default) keeps the
-// serial dispatcher. Results are byte-identical for every value — the knob
-// trades dispatch overhead for concurrency, never determinism — so it does
-// not participate in result caching (SpecKey) or serialized output.
+// WithParallelism selects the event engine's dispatcher: n > 0 forces the
+// parallel dispatcher with n workers for unit-tagged same-timestamp events,
+// ParallelismSerial (-1) forces the serial dispatcher, and ParallelismAuto
+// (0, the default) resolves at New time to min(GOMAXPROCS, units + cores)
+// workers on multi-core hosts and serial on single-core hosts. Results are
+// byte-identical for every value — the knob trades dispatch overhead for
+// concurrency, never determinism — so it does not participate in result
+// caching (SpecKey) or serialized output.
 func WithParallelism(n int) Option { return optionFunc(func(c *Config) { c.Parallelism = n }) }

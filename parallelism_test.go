@@ -1,0 +1,63 @@
+package syncron
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestResolveParallelism pins the public knob's mapping to engine worker
+// counts: positive values pass through, ParallelismSerial forces the serial
+// dispatcher, and ParallelismAuto picks min(GOMAXPROCS, simulated units)
+// on multi-core hosts and serial on single-core hosts.
+func TestResolveParallelism(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	auto := func(simUnits int) int {
+		if procs < 2 {
+			return 0
+		}
+		if procs < simUnits {
+			return procs
+		}
+		return simUnits
+	}
+	cases := []struct {
+		name     string
+		p        int
+		simUnits int
+		want     int
+	}{
+		{"explicit workers pass through", 3, 64, 3},
+		{"explicit workers above unit count pass through", 128, 64, 128},
+		{"serial sentinel maps to the serial dispatcher", ParallelismSerial, 64, 0},
+		{"auto resolves per host", ParallelismAuto, 64, auto(64)},
+		{"auto caps at the simulated unit count", ParallelismAuto, 2, auto(2)},
+	}
+	for _, c := range cases {
+		if got := resolveParallelism(c.p, c.simUnits); got != c.want {
+			t.Errorf("%s: resolveParallelism(%d, %d) = %d, want %d",
+				c.name, c.p, c.simUnits, got, c.want)
+		}
+	}
+}
+
+// TestNewResolvesParallelism checks New wires the resolved worker count into
+// the engine: the default Config is auto, WithParallelism forces exact
+// counts, and ParallelismSerial keeps the serial dispatcher.
+func TestNewResolvesParallelism(t *testing.T) {
+	// Default machine: 4 units x 15 cores + 4 resource units = 64 sim units.
+	if got, want := New().m.Engine.Parallelism(),
+		resolveParallelism(ParallelismAuto, 64); got != want {
+		t.Errorf("New() engine parallelism = %d, want auto resolution %d", got, want)
+	}
+	if got := New(WithParallelism(2)).m.Engine.Parallelism(); got != 2 {
+		t.Errorf("WithParallelism(2) engine parallelism = %d, want 2", got)
+	}
+	if got := New(WithParallelism(ParallelismSerial)).m.Engine.Parallelism(); got != 0 {
+		t.Errorf("WithParallelism(ParallelismSerial) engine parallelism = %d, want 0 (serial)", got)
+	}
+	sys := New(WithUnits(2), WithCoresPerUnit(1), WithParallelism(ParallelismAuto))
+	want := resolveParallelism(ParallelismAuto, 4)
+	if got := sys.m.Engine.Parallelism(); got != want {
+		t.Errorf("auto on a 2x1 machine: engine parallelism = %d, want %d", got, want)
+	}
+}

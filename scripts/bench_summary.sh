@@ -8,8 +8,9 @@
 #   scripts/bench_summary.sh BENCH.ci.json >> "$GITHUB_STEP_SUMMARY"
 #
 # The report carries one entry per measured engine configuration (serial and
-# parallel dispatch over the same grids); the table shows one column each.
-# Requires jq (preinstalled on ubuntu-latest runners).
+# parallel dispatch at each worker count over the same grids); the table
+# shows one column each, plus each entry's throughput as a speedup over the
+# serial entry. Requires jq (preinstalled on ubuntu-latest runners).
 set -euo pipefail
 
 f=${1:-BENCH.json}
@@ -29,7 +30,10 @@ jq -r '
     ("| metric | " + ([.entries[].name] | join(" | ")) + " |"),
     ("|---|" + ([.entries[] | "---:"] | join("|")) + "|"),
     ("| workers × parallelism | " + ([.entries[] | "\(.workers) × \(.parallelism)"] | join(" | ")) + " |"),
+    ("| host CPUs | " + ([.entries[].num_cpu | tostring] | join(" | ")) + " |"),
     ("| events/sec | " + ([.entries[].events_per_sec | round | tostring] | join(" | ")) + " |"),
+    ((.entries[0].events_per_sec) as $serial |
+     "| speedup vs serial | " + ([.entries[] | "\(.events_per_sec / $serial * 100 | round / 100)×"] | join(" | ")) + " |"),
     ("| best wall ms | " + ([.entries[].best_wall_ms | r2 | tostring] | join(" | ")) + " |"),
     ("| allocs per event | " + ([.entries[].allocs_per_event | (. * 1000 | round) / 1000 | tostring] | join(" | ")) + " |"),
     ("| bytes per event | " + ([.entries[].bytes_per_event | r2 | tostring] | join(" | ")) + " |"),

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# parallel_gate.sh [BENCH.json] — gate the parallel dispatcher's payoff from
+# a syncron-bench -perf report: the parallel-4 entry must reach at least
+# (100 - MAX_PARALLEL_DEFICIT_PCT)% of the serial entry's events/sec
+# (default: 90%, i.e. parallel-4 may not run more than 10% slower than
+# serial). On a healthy multi-core host parallel-4 should beat serial
+# outright; the tolerance absorbs runner noise without letting a real
+# "parallel is slower than serial" regression through.
+#
+# The gate skips (exit 0, with a notice) when the report has no parallel-4
+# entry or it was measured on fewer than 4 CPUs — a deficit measured under
+# oversubscription says nothing about the dispatcher. Requires jq.
+set -euo pipefail
+
+f=${1:-BENCH.json}
+max_deficit=${MAX_PARALLEL_DEFICIT_PCT:-10}
+
+if [ ! -f "$f" ]; then
+    echo "parallel_gate: $f not found" >&2
+    exit 2
+fi
+if ! command -v jq >/dev/null; then
+    echo "parallel_gate: jq not found" >&2
+    exit 2
+fi
+
+serial=$(jq -r '[.entries[] | select(.name == "serial")][0].events_per_sec // empty' "$f")
+par=$(jq -r '[.entries[] | select(.name == "parallel-4")][0].events_per_sec // empty' "$f")
+cpus=$(jq -r '[.entries[] | select(.name == "parallel-4")][0].num_cpu // empty' "$f")
+
+if [ -z "$serial" ]; then
+    echo "parallel_gate: $f has no serial entry; refusing a vacuous pass" >&2
+    exit 2
+fi
+if [ -z "$par" ]; then
+    echo "parallel_gate: no parallel-4 entry in $f (single-CPU host?); skipping"
+    exit 0
+fi
+if [ "$cpus" -lt 4 ]; then
+    echo "parallel_gate: parallel-4 was measured on $cpus CPUs; skipping (need >= 4 for an honest comparison)"
+    exit 0
+fi
+
+# ratio as integer percent; jq does the float math so the shell doesn't.
+pct=$(jq -r --argjson s "$serial" --argjson p "$par" -n '($p / $s * 100) | round')
+echo "parallel_gate: parallel-4 at ${pct}% of serial throughput ($par vs $serial events/sec, $cpus CPUs)"
+if [ "$pct" -lt "$((100 - max_deficit))" ]; then
+    echo "PARALLEL REGRESSION: parallel-4 runs at ${pct}% of serial (< $((100 - max_deficit))% floor)" >&2
+    exit 1
+fi

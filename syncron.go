@@ -49,6 +49,7 @@ package syncron
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"syncron/internal/arch"
@@ -207,14 +208,50 @@ type Config struct {
 	SEServiceCycles int64 `json:"se_service_cycles,omitempty"`
 	// Seed makes all simulated randomness reproducible (default 1).
 	Seed uint64 `json:"seed,omitempty"`
-	// Parallelism selects the event engine's parallel dispatcher with that
-	// many workers for unit-tagged same-timestamp events; 0 (the default)
-	// keeps the serial dispatcher. Every value produces byte-identical
-	// results (see ARCHITECTURE.md "Parallel execution"), so the field is an
-	// execution knob, not part of the experiment: it is deliberately excluded
-	// from JSON output and from SpecKey, letting serial and parallel runs
-	// share cache entries.
+	// Parallelism selects the event engine's dispatcher. ParallelismAuto
+	// (0, the default) resolves at New time to the parallel dispatcher with
+	// min(GOMAXPROCS, simulated units + cores) workers on multi-core hosts,
+	// and to the serial dispatcher on single-core hosts where parallel
+	// dispatch can only add overhead. ParallelismSerial (-1) forces the
+	// serial dispatcher; n > 0 forces the parallel dispatcher with exactly n
+	// workers. Every value produces byte-identical results (see
+	// ARCHITECTURE.md "Parallel execution"), so the field is an execution
+	// knob, not part of the experiment: it is deliberately excluded from
+	// JSON output and from SpecKey, letting serial and parallel runs share
+	// cache entries.
 	Parallelism int `json:"-"`
+}
+
+// Sentinel values for Config.Parallelism / WithParallelism.
+const (
+	// ParallelismAuto (the zero value) picks the dispatcher at New time:
+	// min(GOMAXPROCS, simulated units + cores) parallel workers on
+	// multi-core hosts, serial on single-core hosts.
+	ParallelismAuto = 0
+	// ParallelismSerial forces the serial dispatcher.
+	ParallelismSerial = -1
+)
+
+// resolveParallelism maps the public Parallelism knob (auto / serial / n) to
+// the engine-level worker count, where 0 means the serial dispatcher.
+// simUnits is the number of distinct schedulable units the machine will have
+// (arch.Machine.NumSimUnits): more workers than units can never run, so auto
+// caps there.
+func resolveParallelism(p, simUnits int) int {
+	switch {
+	case p > 0:
+		return p
+	case p < 0:
+		return 0
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		return 0 // single-core host: parallel dispatch can only lose
+	}
+	if n > simUnits {
+		n = simUnits
+	}
+	return n
 }
 
 // Context is the interface a simulated core's program uses; see
@@ -258,7 +295,8 @@ func New(opts ...Option) *System {
 	acfg.Topology = topo
 	cfg.Topology = topo
 	acfg.LinkLatency = cfg.LinkLatency
-	acfg.Parallelism = cfg.Parallelism
+	acfg.Parallelism = resolveParallelism(cfg.Parallelism,
+		acfg.Units+acfg.Units*acfg.CoresPerUnit)
 	if cfg.Seed != 0 {
 		acfg.Seed = cfg.Seed
 	}
