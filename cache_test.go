@@ -64,18 +64,23 @@ func TestSpecKeyGolden(t *testing.T) {
 // checklist (see TestSpecKeyGolden) — a silent cache-poisoning hazard,
 // because two now-different specs would share a key.
 func TestSpecKeyCoversEveryField(t *testing.T) {
-	// Config counts 12 fields but specKeyRecord covers 11: Parallelism is the
-	// one deliberate exemption — it selects the engine's dispatcher, which is
-	// proven byte-identical to serial (internal/sim/paralleltest and the CI
-	// parallel-determinism matrix), so serial and parallel runs of one spec
-	// are the same experiment and must share a cache entry.
+	// Config counts 13 fields but specKeyRecord covers 11: Parallelism and
+	// Tracer are the two deliberate exemptions. Parallelism selects the
+	// engine's dispatcher, which is proven byte-identical to serial
+	// (internal/sim/paralleltest and the CI parallel-determinism matrix);
+	// Tracer is strictly observational (hook points only read simulation
+	// state, and the CI trace-determinism job pins traced output as
+	// byte-identical across dispatchers) — so traced/parallel runs of one
+	// spec are the same experiment and must share a cache entry. (Traced runs
+	// bypass cache LOOKUP at the call sites instead, since a hit would skip
+	// the simulation the tracer observes.)
 	for _, c := range []struct {
 		name string
 		v    any
 		want int
 	}{
 		{"RunSpec", syncron.RunSpec{}, 3},
-		{"Config", syncron.Config{}, 12},
+		{"Config", syncron.Config{}, 13},
 		{"WorkloadParams", syncron.WorkloadParams{}, 6},
 	} {
 		if got := reflect.TypeOf(c.v).NumField(); got != c.want {
@@ -127,13 +132,18 @@ func TestSpecKeyChangesWithEveryField(t *testing.T) {
 	if syncron.SpecKey(base) != syncron.SpecKey(base) {
 		t.Fatal("SpecKey is not deterministic")
 	}
-	// Parallelism is the deliberate non-semantic field (see
-	// TestSpecKeyCoversEveryField): it must NOT change the key, so serial and
-	// parallel executions of one spec share a cache entry.
+	// Parallelism and Tracer are the deliberate non-semantic fields (see
+	// TestSpecKeyCoversEveryField): they must NOT change the key, so serial,
+	// parallel, and traced executions of one spec share a cache entry.
 	par := base
 	par.Config.Parallelism = 8
 	if syncron.SpecKey(par) != syncron.SpecKey(base) {
 		t.Error("Parallelism changed the SpecKey; execution mode must not affect cache identity")
+	}
+	traced := base
+	traced.Config.Tracer = syncron.NewTraceCollector()
+	if syncron.SpecKey(traced) != syncron.SpecKey(base) {
+		t.Error("Tracer changed the SpecKey; observation must not affect cache identity")
 	}
 }
 

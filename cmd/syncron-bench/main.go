@@ -20,11 +20,13 @@
 // -all the remaining experiments still run.
 //
 // The -perf mode replays the canonical `figures --quick` grids
-// (syncron.FigureSweeps) several times under the serial engine and again
-// under the parallel dispatcher at each worker count of -perf-parallel
-// (default 1,2,4,8), and writes BENCH.json: one entry per configuration with
-// wall time per repetition, simulated events/sec, allocations per event, and
-// peak heap. On a single-CPU host the multi-worker entries are skipped, not
+// (syncron.FigureSweeps) several times under the serial engine, again under
+// the parallel dispatcher at each worker count of -perf-parallel (default
+// 1,2,4,8), and finally as a tracer-off/tracer-on pair (the second with a
+// record-dropping tracer attached) that prices the tracing layer's hook
+// points, and writes BENCH.json: one entry per configuration with wall time
+// per repetition, simulated events/sec, allocations per event, and peak
+// heap. On a single-CPU host the multi-worker entries are skipped, not
 // faked — a "parallel-4" number measured on one core would read as a
 // regression that is really just oversubscription; every entry records the
 // host's CPU count so reports from different hosts compare honestly. The
@@ -144,7 +146,8 @@ type perfReport struct {
 type perfEntry struct {
 	// Name distinguishes entries: "serial" is the comparable-across-hosts
 	// headline, "parallel-N" measures the engine's parallel dispatcher with
-	// N workers.
+	// N workers, and the "tracer-off"/"tracer-on" pair prices the tracing
+	// layer (off = nil tracer, on = a tracer that drops every record).
 	Name string `json:"name"`
 	// Workers is the sweep worker count (simultaneous runs). The serial
 	// entry uses 1 so wall time measures single-run simulator throughput.
@@ -214,11 +217,16 @@ func (s *heapSampler) halt() {
 // configuration and returns the entry plus the per-rep work counts.
 // parallelism uses Config.Parallelism semantics (the serial entry passes
 // syncron.ParallelismSerial); the recorded entry keeps the engine-level
-// worker count, 0 for serial.
-func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampler) (perfEntry, int, uint64, error) {
+// worker count, 0 for serial. tracer, when non-nil, is attached to every run
+// (it must be stateless, like syncron.DiscardTracer, since runs can execute
+// concurrently).
+func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampler, tracer syncron.Tracer) (perfEntry, int, uint64, error) {
 	sweeps := syncron.FigureSweeps(syncron.FigureOptions{
 		Quick: true, Workers: workers, Parallelism: parallelism,
 	})
+	for i := range sweeps {
+		sweeps[i].Base.Tracer = tracer
+	}
 	recorded := parallelism
 	if recorded < 0 {
 		recorded = 0
@@ -327,7 +335,7 @@ func runPerf(reps, workers int, parallelList, out string) error {
 		NumCPU:    runtime.NumCPU(),
 		Reps:      reps,
 	}
-	serial, simRuns, events, err := measurePerf("serial", workers, syncron.ParallelismSerial, reps, sampler)
+	serial, simRuns, events, err := measurePerf("serial", workers, syncron.ParallelismSerial, reps, sampler, nil)
 	if err != nil {
 		return err
 	}
@@ -335,13 +343,33 @@ func runPerf(reps, workers int, parallelList, out string) error {
 	rep.Events = events
 	rep.Entries = []perfEntry{serial}
 	for _, n := range counts {
-		entry, runs, ev, err := measurePerf(fmt.Sprintf("parallel-%d", n), workers, n, reps, sampler)
+		entry, runs, ev, err := measurePerf(fmt.Sprintf("parallel-%d", n), workers, n, reps, sampler, nil)
 		if err != nil {
 			return err
 		}
 		// The dispatcher contract: parallel execution changes wall time only.
 		if ev != events || runs != simRuns {
 			return fmt.Errorf("%s executed %d events over %d runs, serial executed %d over %d — engine parallelism changed the simulation",
+				entry.Name, ev, runs, events, simRuns)
+		}
+		rep.Entries = append(rep.Entries, entry)
+	}
+	// The tracing layer's cost contract: tracer-off re-measures the serial
+	// configuration as the disabled-path reference (measured back-to-back
+	// with tracer-on so the pair shares thermal/cache conditions), and
+	// tracer-on attaches a tracer that drops every record, isolating the cost
+	// of the live hook points themselves. Both run the serial dispatcher.
+	for _, tc := range []struct {
+		name   string
+		tracer syncron.Tracer
+	}{{"tracer-off", nil}, {"tracer-on", syncron.DiscardTracer}} {
+		entry, runs, ev, err := measurePerf(tc.name, workers, syncron.ParallelismSerial, reps, sampler, tc.tracer)
+		if err != nil {
+			return err
+		}
+		// Tracing is observational: it must not change what executes either.
+		if ev != events || runs != simRuns {
+			return fmt.Errorf("%s executed %d events over %d runs, serial executed %d over %d — tracing changed the simulation",
 				entry.Name, ev, runs, events, simRuns)
 		}
 		rep.Entries = append(rep.Entries, entry)

@@ -188,6 +188,7 @@ func runCmd(args []string) {
 		metis     = fs.Bool("metis", false, "use the METIS-like greedy graph partitioner")
 		jsonOut   = fs.String("json", "", "also write the result as JSON to this path (- = stdout, suppressing the report); byte-identical to the serve daemon's result for the same spec")
 		printSpec = fs.Bool("print-spec", false, "print the canonical RunSpec JSON and exit without simulating (the exact payload to POST to a serve daemon)")
+		traceOut  = fs.String("trace", "", "write a time-resolved trace CSV of the run to this path; output is byte-identical at any -parallel setting")
 	)
 	cfg, _, topology, _ := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
@@ -218,10 +219,16 @@ func runCmd(args []string) {
 		}
 		return
 	}
+	var col *syncron.TraceCollector
+	if *traceOut != "" {
+		col = syncron.NewTraceCollector()
+		spec.Config.Tracer = col
+	}
 	// run is exactly a one-spec sweep: same seed derivation (a zero -seed gets
 	// deriveSeed(0, 0), as a serve daemon resolves it), same SpecKey stamping,
 	// same serialization — so `run -json`, `sweep`, and a serve job of the
-	// same spec are byte-interchangeable.
+	// same spec are byte-interchangeable. The tracer never perturbs this: it
+	// is excluded from SpecKey and serialized output.
 	res := syncron.SpecRunner{}.Run([]syncron.RunSpec{spec})[0]
 	if *jsonOut != "" {
 		if *jsonOut == "-" {
@@ -235,8 +242,27 @@ func runCmd(args []string) {
 	if res.Err != "" {
 		fatal("%s", res.Err)
 	}
+	if col != nil {
+		writeTraceCSV(*traceOut, col)
+	}
 	if *jsonOut != "-" {
 		report(res)
+	}
+}
+
+// writeTraceCSV emits a collected trace to path, failing loudly on write and
+// close errors.
+func writeTraceCSV(path string, col *syncron.TraceCollector) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := col.WriteCSV(f); err != nil {
+		f.Close()
+		fatal("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing %s: %v", path, err)
 	}
 }
 
@@ -357,6 +383,7 @@ func sweepCmd(args []string) {
 		cacheDir  = fs.String("cache", "", "content-addressed result cache directory: cached runs skip simulation, new results are stored")
 		cacheOnly = fs.Bool("cache-only", false, "forbid simulation; runs missing from -cache fail")
 		failFast  = fs.Bool("fail-fast", false, "cancel unstarted runs as soon as any run fails")
+		traceDir  = fs.String("trace", "", "write one time-resolved trace CSV per run into this directory; incompatible with -cache/-shard (a cached run skips the simulation a trace observes)")
 	)
 	cfg, cores, topology, parallel := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
@@ -374,6 +401,20 @@ func sweepCmd(args []string) {
 	}
 	if *cacheOnly && cache == nil {
 		fatal("-cache-only requires -cache DIR")
+	}
+	if *traceDir != "" {
+		// A cache hit skips the simulation entirely, so a traced cached run
+		// would emit an empty (misleading) trace; sharding would break the
+		// spec-to-collector pairing below. Fail loudly instead of guessing.
+		if cache != nil || *cacheOnly {
+			fatal("-trace is incompatible with -cache/-cache-only: cached runs skip the simulation a trace observes")
+		}
+		if runner.Shard.Count > 1 {
+			fatal("-trace is incompatible with -shard")
+		}
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	var specs []syncron.RunSpec
@@ -435,6 +476,15 @@ func sweepCmd(args []string) {
 		fatal("unknown -grid %q (want figures or figures-quick)", *grid)
 	}
 
+	var cols []*syncron.TraceCollector
+	if *traceDir != "" {
+		cols = make([]*syncron.TraceCollector, len(specs))
+		for i := range specs {
+			cols[i] = syncron.NewTraceCollector()
+			specs[i].Config.Tracer = cols[i]
+		}
+	}
+
 	if runner.Shard.Count > 1 {
 		fmt.Fprintf(os.Stderr, "syncron-sim: sweeping shard %d/%d of %d runs (%s)\n",
 			runner.Shard.Index, runner.Shard.Count, len(specs), gridName)
@@ -443,6 +493,16 @@ func sweepCmd(args []string) {
 	}
 	results := runner.Run(specs)
 	reportCacheStats(cache)
+
+	if *traceDir != "" {
+		for i, r := range results {
+			if r.Err != "" {
+				continue // a failed run's trace is partial; don't emit it
+			}
+			name := fmt.Sprintf("%03d-%s-%s.trace.csv", r.GridIndex, r.Spec.Workload, r.Spec.Config.Scheme)
+			writeTraceCSV(filepath.Join(*traceDir, name), cols[i])
+		}
+	}
 
 	failed := 0
 	for _, r := range results {
@@ -485,6 +545,7 @@ func figuresCmd(args []string) {
 		csvDir    = fs.String("csv-dir", "", "also write one <figure>.csv per figure into this directory")
 		cacheDir  = fs.String("cache", "", "content-addressed result cache directory: cached runs skip simulation, new results are stored")
 		fromDir   = fs.String("from", "", "render purely from this cache directory; any missing run is an error (zero simulation)")
+		traceDir  = fs.String("trace", "", "add the time-resolved trace figure and write its per-workload trace/view CSVs into this directory; the traced grid always simulates (it bypasses -cache)")
 	)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
@@ -494,6 +555,9 @@ func figuresCmd(args []string) {
 	}
 	if *fromDir != "" && *cacheDir != "" && *fromDir != *cacheDir {
 		fatal("-from and -cache name different directories; use one of them")
+	}
+	if *fromDir != "" && *traceDir != "" {
+		fatal("-from promises zero simulation, but the traced grid always simulates; drop one of -from/-trace")
 	}
 	if *fromDir != "" {
 		*cacheDir = *fromDir
@@ -508,6 +572,7 @@ func figuresCmd(args []string) {
 		BaseSeed:    *baseSeed,
 		Topologies:  parseTopologyList(*topos),
 		CacheOnly:   *fromDir != "",
+		TraceDir:    *traceDir,
 	}
 	if cache != nil {
 		opt.Cache = cache

@@ -110,6 +110,16 @@ type FigureOptions struct {
 	// identical workload instance, so normalized views compare like with
 	// like.
 	BaseSeed uint64
+	// TraceDir, when non-empty, adds the time-resolved trace figure: a small
+	// dedicated grid (traceWorkloads under SchemeSynCron) re-runs with a
+	// TraceCollector attached, and the per-workload trace plus its three
+	// analysis views (queue depth, link utilization, lock hold times) are
+	// written into the directory as CSV files. The traced grid always
+	// simulates — it deliberately ignores Cache, since a cache hit skips the
+	// simulation the tracer observes — and its output is byte-identical at
+	// any Parallelism setting. Leaving it empty skips the figure, keeping the
+	// default figure set unchanged.
+	TraceDir string
 }
 
 // quickWorkloads is the Quick subset: all four primitives, four data
@@ -196,6 +206,10 @@ func (o FigureOptions) withDefaults() FigureOptions {
 //   - topology: interconnect sensitivity — slowdown, network energy, and
 //     link traffic per topology vs the all-to-all baseline (only when
 //     FigureOptions.Topologies is non-empty)
+//   - trace: time-resolved engine/link/lock summaries from traced re-runs of
+//     a small workload subset, with the full traces and their analysis views
+//     written into FigureOptions.TraceDir as CSV files (only when TraceDir
+//     is non-empty)
 //
 // Output is deterministic for fixed options: runs get seeds derived from
 // BaseSeed and grid position, independent of Workers. Any failed run aborts
@@ -259,6 +273,13 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 			return nil, err
 		}
 		figs = append(figs, topologyFigure(rows))
+	}
+	if o.TraceDir != "" {
+		fig, err := traceFigure(o)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, fig)
 	}
 	return figs, nil
 }

@@ -15,6 +15,7 @@ import (
 	"syncron/internal/mem"
 	"syncron/internal/network"
 	"syncron/internal/sim"
+	"syncron/internal/trace"
 )
 
 // Config describes a simulated NDP system.
@@ -42,6 +43,13 @@ type Config struct {
 	// workers (0 = serial). Execution stays byte-identical either way; see
 	// sim.Engine.SetParallelism.
 	Parallelism int
+
+	// Tracer, when non-nil, enables the time-resolved tracing layer: the
+	// engine's dispatch hook, the network's per-link transfer records, and
+	// the backends' synchronization spans all feed it. Nil (the default)
+	// keeps every hook branch-predicted cold and the hot path
+	// allocation-free.
+	Tracer trace.Tracer
 }
 
 // Default returns the paper's evaluated configuration: 4 NDP units with 15
@@ -92,9 +100,14 @@ type Machine struct {
 
 	Backend Backend // synchronization mechanism under test
 
+	// Tracer is the machine-wide trace sink (nil when tracing is disabled).
+	// Backends read it at Attach time to install their span hooks.
+	Tracer trace.Tracer
+
 	allocNext  []uint64 // per-unit bump pointer (cacheable arena)
 	allocNextU []uint64 // per-unit bump pointer (uncacheable arena)
 	cacheCfg   cache.Config
+	engHook    *trace.EngineHook // engine dispatch adapter; nil when untraced
 }
 
 // NewMachine builds a machine from cfg. Attach a Backend before running
@@ -129,7 +142,22 @@ func NewMachine(cfg Config) *Machine {
 	for c := 0; c < cfg.Units*cfg.CoresPerUnit; c++ {
 		m.Caches = append(m.Caches, cache.New(m.cacheCfg))
 	}
+	if cfg.Tracer != nil {
+		m.Tracer = cfg.Tracer
+		m.engHook = trace.NewEngineHook(cfg.Tracer, 0)
+		eng.SetHook(m.engHook)
+		m.Net.SetTracer(cfg.Tracer)
+	}
 	return m
+}
+
+// FlushTrace finalizes the tracing layer after a run: it emits the engine
+// hook's last partial bucket. A no-op when tracing is disabled; callers
+// (syncron.System.Run) invoke it unconditionally once the engine drains.
+func (m *Machine) FlushTrace() {
+	if m.engHook != nil {
+		m.engHook.Flush(m.Engine.Executed)
+	}
 }
 
 // NumCores returns the total number of client cores.

@@ -57,6 +57,10 @@ type Backend struct {
 	space *coherence.Space
 	locks map[uint64]*lockState
 	bars  map[uint64]*barState
+
+	// syncTr is non-nil when the machine has a tracer attached; it wraps each
+	// request's done continuation with span emission (see arch.SyncTracer).
+	syncTr *arch.SyncTracer
 }
 
 type waiter struct {
@@ -91,6 +95,10 @@ func (b *Backend) Attach(m *arch.Machine) {
 	if b.LocalBatch == 0 {
 		b.LocalBatch = 8
 	}
+	b.syncTr = nil
+	if m.Tracer != nil {
+		b.syncTr = arch.NewSyncTracer(m.Tracer)
+	}
 }
 
 // ExtraCacheEnergyPJ implements arch.Backend.
@@ -101,6 +109,9 @@ func (b *Backend) Space() *coherence.Space { return b.space }
 
 // Request implements arch.Backend.
 func (b *Backend) Request(t sim.Time, core int, req arch.SyncReq, done func(sim.Time)) {
+	if b.syncTr != nil {
+		done = b.syncTr.Request(t, core, req, done)
+	}
 	switch req.Op {
 	case arch.OpLockAcquire:
 		b.acquire(t, core, req.Addr, done)

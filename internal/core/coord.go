@@ -152,6 +152,10 @@ type Coordinator struct {
 	totalReqs    uint64
 	overflowReqs uint64
 
+	// syncTr is non-nil when the machine has a tracer attached; it wraps each
+	// request's done continuation with span emission (see arch.SyncTracer).
+	syncTr *arch.SyncTracer
+
 	// fallback server busy horizons for OverflowCentral/OverflowDistrib.
 	fallbackBusy []sim.Time
 	abortsSent   uint64
@@ -202,6 +206,10 @@ func (c *Coordinator) Attach(m *arch.Machine) {
 	}
 	c.fallbackBusy = make([]sim.Time, m.Cfg.Units)
 	c.freeDeliver, c.freeOps, c.freeMasters, c.freeLocals = nil, nil, nil, nil
+	c.syncTr = nil
+	if m.Tracer != nil {
+		c.syncTr = arch.NewSyncTracer(m.Tracer)
+	}
 }
 
 // masterNode returns the node coordinating variable addr globally.
@@ -230,6 +238,9 @@ func (c *Coordinator) hierarchical() bool { return c.opt.Topology == TopoHier }
 // Request implements arch.Backend.
 func (c *Coordinator) Request(t sim.Time, core int, req arch.SyncReq, done func(sim.Time)) {
 	c.totalReqs++
+	if c.syncTr != nil {
+		done = c.syncTr.Request(t, core, req, done)
+	}
 	switch req.Op {
 	case arch.OpLockAcquire:
 		c.lockAcquire(t, core, req.Addr, done)

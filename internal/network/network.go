@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"syncron/internal/sim"
+	"syncron/internal/trace"
 )
 
 // Config holds the interconnect parameters.
@@ -108,6 +109,16 @@ type Network struct {
 	intraBits []uint64
 	intraMsgs []uint64
 
+	// tr, when non-nil, receives one WhatLinkXfer record per inter-unit link
+	// traversal (the link's busy window plus the message size). Only the
+	// cross-unit path emits — it is a serial barrier by construction, so
+	// tracing needs no synchronization; the unit-tagged IntraDelay path is
+	// deliberately untraced (it may run concurrently on workers, and its
+	// volume would dominate the trace). linkNames interns the per-direction
+	// "link.S-D" labels so the enabled hot path does not format strings.
+	tr        trace.Tracer
+	linkNames []string
+
 	Stats Stats
 }
 
@@ -144,6 +155,20 @@ func NewAllToAll(cfg Config, n int) *Network {
 
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetTracer installs tr (nil disables tracing) and pre-interns the per-link
+// labels, so the traced path never formats strings per message.
+func (n *Network) SetTracer(tr trace.Tracer) {
+	n.tr = tr
+	if tr != nil && n.linkNames == nil {
+		n.linkNames = make([]string, n.nodes*n.nodes)
+		for src := 0; src < n.nodes; src++ {
+			for dst := 0; dst < n.nodes; dst++ {
+				n.linkNames[src*n.nodes+dst] = fmt.Sprintf("link.%d-%d", src, dst)
+			}
+		}
+	}
+}
 
 // Topology returns the interconnect topology.
 func (n *Network) Topology() Topology { return n.topo }
@@ -254,6 +279,14 @@ func (n *Network) linkDelay(t sim.Time, l Link, bytes int) sim.Time {
 	n.linkBits[l.Src*n.nodes+l.Dst] += uint64(bytes * 8)
 	n.Stats.InterBits.Add(uint64(bytes * 8))
 	n.Stats.LinkHops.Inc()
+	if n.tr != nil {
+		// [start, start+ser) is the window the message occupies the link —
+		// queueing behind the serialization horizon included — which is what
+		// the LinkUtilizationSeries view integrates.
+		n.tr.Emit(trace.Record{Start: start, End: start + ser,
+			Where: n.linkNames[l.Src*n.nodes+l.Dst], What: trace.WhatLinkXfer,
+			Value: float64(bytes), Unit: "bytes"})
+	}
 	return start + ser + cfg.LinkLatency + cfg.CoreClock.Cycles(cfg.LinkFixedCycles)
 }
 

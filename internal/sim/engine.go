@@ -88,6 +88,9 @@ type Engine struct {
 	sctx *UnitCtx    // lazily built direct-mode context for serial UnitFunc calls
 	ictx *UnitCtx    // lazily built inline-phase context (see runPhaseInline)
 
+	hook     Hook // nil by default; see SetHook
+	hookedAt Time // last timestamp OnAdvance fired for (dedup guard)
+
 	// Executed counts events run since construction; useful in tests, as a
 	// runaway guard, and as the events/sec numerator of macro-benchmarks.
 	Executed uint64
@@ -361,6 +364,9 @@ func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 			if bounded && at > deadline {
 				return e.now
 			}
+			if e.hook != nil && at != e.now {
+				e.fireAdvance(at, e.Pending())
+			}
 			e.nowHead++
 			if e.nowHead == len(e.nowQ) {
 				e.nowQ = e.nowQ[:0]
@@ -370,6 +376,12 @@ func (e *Engine) dispatch(deadline Time, bounded bool) Time {
 			at = e.heap[0].at
 			if bounded && at > deadline {
 				return e.now
+			}
+			// Fire the advance hook before the pop, so the reported queue
+			// depth covers the full timestamp batch — the exact point the
+			// parallel dispatcher fires at (see dispatchParallel).
+			if e.hook != nil && at != e.now {
+				e.fireAdvance(at, e.Pending())
 			}
 			slot = e.heapPop().slot
 		default:

@@ -259,6 +259,12 @@ func (e *Engine) dispatchParallel(deadline Time, bounded bool) Time {
 		if bounded && at > deadline {
 			return e.now
 		}
+		// Fire the advance hook before the barrier fast path pops or
+		// collectBatch drains: nothing at `at` has been dequeued yet, so the
+		// reported queue depth matches the serial dispatcher's byte for byte.
+		if e.hook != nil && at != e.now {
+			e.fireAdvance(at, e.Pending())
+		}
 		if s := &e.slots[slot]; s.state == slotDead || s.unit < 0 {
 			if useNow {
 				e.nowHead++

@@ -58,6 +58,9 @@ func (cfg Config) apply(c *Config) {
 	if cfg.Parallelism != 0 {
 		c.Parallelism = cfg.Parallelism
 	}
+	if cfg.Tracer != nil {
+		c.Tracer = cfg.Tracer
+	}
 }
 
 // WithScheme selects the synchronization mechanism.
@@ -107,3 +110,11 @@ func WithSeed(seed uint64) Option { return optionFunc(func(c *Config) { c.Seed =
 // concurrency, never determinism — so it does not participate in result
 // caching (SpecKey) or serialized output.
 func WithParallelism(n int) Option { return optionFunc(func(c *Config) { c.Parallelism = n }) }
+
+// WithTracer attaches a Tracer to the run (typically a *TraceCollector).
+// Tracing is strictly observational: it never changes simulated results, and
+// a nil tracer (the default) costs nothing — every hook point is
+// branch-guarded on the nil check. Like WithParallelism, the tracer does not
+// participate in result caching (SpecKey) or serialized output; pair it with
+// cache-less execution, since a cache hit skips the simulation entirely.
+func WithTracer(t Tracer) Option { return optionFunc(func(c *Config) { c.Tracer = t }) }

@@ -220,6 +220,17 @@ type Config struct {
 	// JSON output and from SpecKey, letting serial and parallel runs share
 	// cache entries.
 	Parallelism int `json:"-"`
+	// Tracer receives time-resolved trace records from the run: engine queue
+	// depth and dispatch rate, per-link transfer windows, and per-variable
+	// lock/barrier/semaphore/condvar spans (see NewTraceCollector). Nil (the
+	// default) disables tracing entirely — every hook point is branch-guarded,
+	// so the disabled path costs zero allocations and is pinned by CI. Like
+	// Parallelism, the tracer is an observation knob, not part of the
+	// experiment: it never changes simulated results, and it is excluded from
+	// JSON output and from SpecKey. Traced runs should bypass the result
+	// cache — a cache hit skips the simulation, so the tracer would see
+	// nothing.
+	Tracer Tracer `json:"-"`
 }
 
 // Sentinel values for Config.Parallelism / WithParallelism.
@@ -300,6 +311,7 @@ func New(opts ...Option) *System {
 	if cfg.Seed != 0 {
 		acfg.Seed = cfg.Seed
 	}
+	acfg.Tracer = cfg.Tracer
 	m := arch.NewMachine(acfg)
 	m.Backend = newBackend(cfg)
 	// Record the machine-level defaults the run will actually use, so
@@ -402,6 +414,7 @@ func (r Report) TotalEnergyPJ() float64 {
 // Run executes all registered programs to completion and reports.
 func (s *System) Run() Report {
 	makespan := s.r.Run()
+	s.m.FlushTrace()
 	e := s.m.EnergyBreakdown()
 	rep := Report{
 		Makespan:        makespan,

@@ -1,0 +1,244 @@
+package syncron
+
+import (
+	"math"
+	"sort"
+
+	"syncron/internal/trace"
+)
+
+// This file is the time-resolved half of the analysis layer: it ingests
+// []TraceRecord (from a TraceCollector or ReadTraceCSV) and computes views
+// over simulated time — event-queue depth and dispatch rate, per-link
+// utilization, and per-variable lock hold/wait distributions. figures.go
+// renders them next to the paper's aggregate views; cmd/syncron-sim exposes
+// them via the -trace flag.
+
+// traceHorizon returns the [min Start, max End] span covered by recs.
+func traceHorizon(recs []TraceRecord) (lo, hi Time) {
+	if len(recs) == 0 {
+		return 0, 0
+	}
+	lo, hi = recs[0].Start, recs[0].End
+	for _, r := range recs {
+		if r.Start < lo {
+			lo = r.Start
+		}
+		if r.End > hi {
+			hi = r.End
+		}
+	}
+	return lo, hi
+}
+
+// QueueDepthBucket is one time slice of the engine-activity series.
+type QueueDepthBucket struct {
+	// Start and End bound the slice in simulated time.
+	Start, End Time
+	// MaxDepth is the maximum pending-event count observed in the slice.
+	MaxDepth int
+	// Dispatched is the number of engine events executed in the slice.
+	Dispatched float64
+}
+
+// QueueDepthSeries rebuckets the engine's queue_depth/dispatched records into
+// at most n uniform time slices spanning the trace horizon (n <= 0 means 50).
+// Depth takes the max over overlapping source buckets; dispatched counts are
+// split across slices in proportion to overlap, so their total is preserved.
+// Slices with no overlapping engine record are omitted.
+func QueueDepthSeries(recs []TraceRecord, n int) []QueueDepthBucket {
+	if n <= 0 {
+		n = 50
+	}
+	lo, hi := traceHorizon(recs)
+	if hi <= lo {
+		return nil
+	}
+	width := (hi - lo + Time(n) - 1) / Time(n)
+	buckets := make([]QueueDepthBucket, n)
+	touched := make([]bool, n)
+	for _, r := range recs {
+		if r.Where != "engine" {
+			continue
+		}
+		switch r.What {
+		case trace.WhatQueueDepth, trace.WhatDispatched:
+		default:
+			continue
+		}
+		for i, frac := range bucketOverlap(r.Start, r.End, lo, width, n) {
+			if frac == 0 {
+				continue
+			}
+			touched[i] = true
+			switch r.What {
+			case trace.WhatQueueDepth:
+				if d := int(r.Value); d > buckets[i].MaxDepth {
+					buckets[i].MaxDepth = d
+				}
+			case trace.WhatDispatched:
+				buckets[i].Dispatched += r.Value * frac
+			}
+		}
+	}
+	out := buckets[:0]
+	for i := range buckets {
+		if !touched[i] {
+			continue
+		}
+		buckets[i].Start = lo + Time(i)*width
+		buckets[i].End = buckets[i].Start + width
+		out = append(out, buckets[i])
+	}
+	return out
+}
+
+// bucketOverlap returns, for each of n uniform buckets of the given width
+// starting at lo, the fraction of span [start, end) that falls inside it.
+func bucketOverlap(start, end, lo, width Time, n int) []float64 {
+	fr := make([]float64, n)
+	if end <= start {
+		// Point records land entirely in their containing bucket.
+		i := int((start - lo) / width)
+		if i >= 0 && i < n {
+			fr[i] = 1
+		}
+		return fr
+	}
+	span := float64(end - start)
+	first := int((start - lo) / width)
+	last := int((end - 1 - lo) / width)
+	for i := max(first, 0); i <= last && i < n; i++ {
+		bLo := lo + Time(i)*width
+		bHi := bLo + width
+		ov := min(end, bHi) - max(start, bLo)
+		if ov > 0 {
+			fr[i] = float64(ov) / span
+		}
+	}
+	return fr
+}
+
+// LinkUtilization summarizes one inter-unit link's traffic over a traced run.
+type LinkUtilization struct {
+	// Link is the trace Where label ("link.<src>-<dst>").
+	Link string
+	// Transfers and Bytes count the messages serialized onto the link.
+	Transfers int
+	Bytes     float64
+	// BusyFrac is the link's serialization time as a fraction of the trace
+	// horizon; PeakFrac is the same fraction within the busiest of n uniform
+	// time slices, exposing bursts the average hides.
+	BusyFrac, PeakFrac float64
+}
+
+// LinkUtilizationSeries computes per-link utilization from the network's
+// link_xfer records, splitting each transfer across n uniform time slices by
+// overlap (n <= 0 means 50). Links are sorted by name; links that never
+// carried a message do not appear.
+func LinkUtilizationSeries(recs []TraceRecord, n int) []LinkUtilization {
+	if n <= 0 {
+		n = 50
+	}
+	lo, hi := traceHorizon(recs)
+	if hi <= lo {
+		return nil
+	}
+	width := (hi - lo + Time(n) - 1) / Time(n)
+	type acc struct {
+		LinkUtilization
+		busy []float64 // per-slice busy ps
+	}
+	links := map[string]*acc{}
+	for _, r := range recs {
+		if r.What != trace.WhatLinkXfer {
+			continue
+		}
+		a, ok := links[r.Where]
+		if !ok {
+			a = &acc{LinkUtilization: LinkUtilization{Link: r.Where}, busy: make([]float64, n)}
+			links[r.Where] = a
+		}
+		a.Transfers++
+		a.Bytes += r.Value
+		ser := float64(r.End - r.Start)
+		for i, frac := range bucketOverlap(r.Start, r.End, lo, width, n) {
+			a.busy[i] += ser * frac
+		}
+	}
+	horizon := float64(hi - lo)
+	var out []LinkUtilization
+	for _, a := range links {
+		var total, peak float64
+		for _, b := range a.busy {
+			total += b
+			if b > peak {
+				peak = b
+			}
+		}
+		a.BusyFrac = total / horizon
+		a.PeakFrac = peak / float64(width)
+		out = append(out, a.LinkUtilization)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+// LockHoldRow summarizes one synchronization variable's lock behaviour over a
+// traced run: how long cores held it and how long they waited to get it.
+type LockHoldRow struct {
+	// Var is the trace Where label ("var.0x<addr>").
+	Var string
+	// Holds and Waits count completed lock_hold / lock_wait spans.
+	Holds, Waits int
+	// Hold/Wait span statistics in picoseconds.
+	HoldMeanPs, HoldP95Ps, HoldMaxPs float64
+	WaitMeanPs, WaitP95Ps, WaitMaxPs float64
+}
+
+// LockHoldTimes computes per-variable hold/wait distributions from the
+// backend's lock_hold and lock_wait records. Variables are sorted by name;
+// variables with neither span kind do not appear.
+func LockHoldTimes(recs []TraceRecord) []LockHoldRow {
+	holds := map[string][]float64{}
+	waits := map[string][]float64{}
+	for _, r := range recs {
+		switch r.What {
+		case trace.WhatLockHold:
+			holds[r.Where] = append(holds[r.Where], r.Value)
+		case trace.WhatLockWait:
+			waits[r.Where] = append(waits[r.Where], r.Value)
+		}
+	}
+	names := map[string]bool{}
+	for v := range holds {
+		names[v] = true
+	}
+	for v := range waits {
+		names[v] = true
+	}
+	var rows []LockHoldRow
+	for v := range names {
+		row := LockHoldRow{Var: v}
+		row.Holds, row.HoldMeanPs, row.HoldP95Ps, row.HoldMaxPs = spanStats(holds[v])
+		row.Waits, row.WaitMeanPs, row.WaitP95Ps, row.WaitMaxPs = spanStats(waits[v])
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Var < rows[j].Var })
+	return rows
+}
+
+// spanStats returns count, mean, p95 (nearest-rank), and max of xs.
+func spanStats(xs []float64) (n int, mean, p95, maxv float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0, 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	rank := int(math.Ceil(0.95*float64(len(s)))) - 1
+	return len(s), sum / float64(len(s)), s[rank], s[len(s)-1]
+}
