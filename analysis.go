@@ -154,12 +154,13 @@ func SpeedupVsBaseline(results []RunResult, baseline Scheme) (*SpeedupTable, err
 }
 
 // gridLabeler returns a labeling function that appends the values of every
-// config axis that varies across rs (units, cores per unit, memory,
-// topology, link latency, ST entries) to the workload name, so a workload
-// swept at several grid points yields distinguishable rows.
+// config axis that varies across rs (units, cores per unit, memory, memory
+// model, topology, link latency, ST entries) to the workload name, so a
+// workload swept at several grid points yields distinguishable rows.
 func gridLabeler(rs ResultSet) func(RunResult) string {
 	var units, cores, sts = map[int]bool{}, map[int]bool{}, map[int]bool{}
 	var mems = map[MemoryTech]bool{}
+	var models = map[MemModel]bool{}
 	var topos = map[Topology]bool{}
 	var links = map[Time]bool{}
 	for _, r := range rs {
@@ -167,6 +168,7 @@ func gridLabeler(rs ResultSet) func(RunResult) string {
 		units[cfg.Units] = true
 		cores[cfg.CoresPerUnit] = true
 		mems[cfg.Memory] = true
+		models[cfg.MemModel] = true
 		topos[cfg.Topology] = true
 		links[cfg.LinkLatency] = true
 		sts[cfg.STEntries] = true
@@ -182,6 +184,9 @@ func gridLabeler(rs ResultSet) func(RunResult) string {
 		}
 		if len(mems) > 1 {
 			label += " " + cfg.Memory.String()
+		}
+		if len(models) > 1 {
+			label += " " + string(cfg.MemModel)
 		}
 		if len(topos) > 1 {
 			label += " " + string(cfg.Topology)
@@ -469,6 +474,96 @@ func TopologySensitivity(results []RunResult, base Topology) ([]TopologyRow, err
 			return a.Scheme < b.Scheme
 		}
 		return toporank[a.Topology] < toporank[b.Topology]
+	})
+	return rows, nil
+}
+
+// MemRow is one (workload, scheme, memory model) cell of the DRAM-model
+// sensitivity view: how the bank/row-buffer timing model shifts makespan and
+// memory energy relative to the flat model on the same workload, scheme, and
+// grid point, together with the row locality the bank model measured.
+type MemRow struct {
+	Workload string
+	Kind     WorkloadKind
+	Scheme   Scheme
+	MemModel MemModel
+	// RowHitRate is the run's fraction of open-row DRAM hits (always 0 under
+	// the flat model).
+	RowHitRate float64
+	// OpsPerMs is the run's absolute throughput.
+	OpsPerMs float64
+	// SlowdownVsBase is makespan / the baseline model's makespan (the
+	// baseline model itself is exactly 1).
+	SlowdownVsBase float64
+	// MemEnergyX is the run's DRAM energy relative to the baseline model's.
+	MemEnergyX float64
+}
+
+// MemSensitivity builds the DRAM-model sensitivity view from runs that sweep
+// the MemModel axis: every successful run is joined against the run of the
+// same workload, scheme, and grid point under the baseline model (default
+// MemModelFlat when base is empty). Rows are sorted by kind, workload,
+// scheme, then model in MemModels order.
+func MemSensitivity(results []RunResult, base MemModel) ([]MemRow, error) {
+	if base == "" {
+		base = MemModelFlat
+	}
+	ok := ResultSet(results).Ok()
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("syncron: no successful runs to build the memory-model sensitivity from")
+	}
+	// Join key: everything (including scheme) but memory model and seed.
+	key := func(r RunResult) string {
+		return gridKey(r, func(c *Config) { c.MemModel = "" })
+	}
+	baseruns := map[string]RunResult{}
+	for _, r := range ok {
+		if r.Spec.Config.MemModel == base {
+			baseruns[key(r)] = r
+		}
+	}
+	if len(baseruns) == 0 {
+		return nil, fmt.Errorf("syncron: no successful %q-model runs to use as baseline", base)
+	}
+	var rows []MemRow
+	for _, r := range ok {
+		b, found := baseruns[key(r)]
+		if !found {
+			return nil, fmt.Errorf("syncron: %s under %s/%s has no %q-model baseline at the same grid point",
+				r.Spec.Workload, r.Spec.Config.Scheme, r.Spec.Config.MemModel, base)
+		}
+		row := MemRow{
+			Workload:   r.Spec.Workload,
+			Kind:       r.Kind,
+			Scheme:     r.Spec.Config.Scheme,
+			MemModel:   r.Spec.Config.MemModel,
+			RowHitRate: r.RowHitRate,
+			OpsPerMs:   r.OpsPerMs,
+		}
+		if b.Makespan > 0 {
+			row.SlowdownVsBase = float64(r.Makespan) / float64(b.Makespan)
+		}
+		if b.MemoryEnergyPJ > 0 {
+			row.MemEnergyX = r.MemoryEnergyPJ / b.MemoryEnergyPJ
+		}
+		rows = append(rows, row)
+	}
+	modelrank := map[MemModel]int{}
+	for i, m := range MemModels() {
+		modelrank[m] = i
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Kind != b.Kind {
+			return kindOrder(a.Kind) < kindOrder(b.Kind)
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return modelrank[a.MemModel] < modelrank[b.MemModel]
 	})
 	return rows, nil
 }

@@ -20,7 +20,9 @@ import (
 // once. Routine simulator changes are instead invalidated by using a fresh
 // cache directory per code version (CI keys its directories on the source
 // hash); see ARCHITECTURE.md "Caching & sharding".
-const SpecKeyVersion = 1
+//
+// History: v2 added Config.MemModel (the DRAM timing-model axis).
+const SpecKeyVersion = 2
 
 // specKeyRecord is the canonical, versioned encoding of one RunSpec. Every
 // semantic field of RunSpec/Config/WorkloadParams appears explicitly, always
@@ -35,6 +37,7 @@ type specKeyRecord struct {
 	Units             int    `json:"units"`
 	CoresPerUnit      int    `json:"cores_per_unit"`
 	Memory            string `json:"memory"`
+	MemModel          string `json:"mem_model"`
 	Topology          string `json:"topology"`
 	LinkLatencyPS     int64  `json:"link_latency_ps"`
 	STEntries         int    `json:"st_entries"`
@@ -62,6 +65,7 @@ func canonicalSpec(spec RunSpec) []byte {
 		Units:             cfg.Units,
 		CoresPerUnit:      cfg.CoresPerUnit,
 		Memory:            cfg.Memory.String(),
+		MemModel:          string(cfg.MemModel),
 		Topology:          string(cfg.Topology),
 		LinkLatencyPS:     int64(cfg.LinkLatency),
 		STEntries:         cfg.STEntries,

@@ -40,7 +40,8 @@ func TestSpecKeyGolden(t *testing.T) {
 	full := syncron.RunSpec{
 		Workload: "pr.wk",
 		Config: syncron.Config{Scheme: syncron.SchemeHier, Units: 4, CoresPerUnit: 15,
-			Memory: syncron.DDR4, Topology: syncron.TopoMesh2D,
+			Memory: syncron.DDR4, MemModel: syncron.MemModelBank,
+			Topology:    syncron.TopoMesh2D,
 			LinkLatency: 40 * syncron.Nanosecond, STEntries: 32,
 			Overflow: syncron.OverflowCentral, FairnessThreshold: 100,
 			SEServiceCycles: 12, Seed: 99},
@@ -48,9 +49,9 @@ func TestSpecKeyGolden(t *testing.T) {
 			Interval: 200, Rounds: 8, Metis: true},
 	}
 	for name, want := range map[syncron.RunSpec]string{
-		base: "v1-f338c2e5ac6293d6119cc42827b1f34a2bd39854b3cca6ce6ae02114a9be89bd",
-		full: "v1-687c9651381b7b528d81578e06f22f3bce9a35241bd79b090cdfb5769211507b",
-		{}:   "v1-7bd811c902a749ca8d2772194101afa49f351d1e7640820833e55b3aff1dddc9",
+		base: "v2-a1361b964fb2dcde6b534074c5b641aca0b568122e02a93f39ab0dd2510c9c73",
+		full: "v2-769c42b6d2a80483650525da565dcf0c3b2d8ac72673a5e6611c80f83f89022e",
+		{}:   "v2-6f8dd9c5e0e202c3342e64a9896004679265baba871a0e2e29a93fb41f17e945",
 	} {
 		if got := syncron.SpecKey(name); got != want {
 			t.Errorf("SpecKey(%+v)\n  got  %s\n  want %s", name, got, want)
@@ -64,7 +65,7 @@ func TestSpecKeyGolden(t *testing.T) {
 // checklist (see TestSpecKeyGolden) — a silent cache-poisoning hazard,
 // because two now-different specs would share a key.
 func TestSpecKeyCoversEveryField(t *testing.T) {
-	// Config counts 13 fields but specKeyRecord covers 11: Parallelism and
+	// Config counts 14 fields but specKeyRecord covers 12: Parallelism and
 	// Tracer are the two deliberate exemptions. Parallelism selects the
 	// engine's dispatcher, which is proven byte-identical to serial
 	// (internal/sim/paralleltest and the CI parallel-determinism matrix);
@@ -80,7 +81,7 @@ func TestSpecKeyCoversEveryField(t *testing.T) {
 		want int
 	}{
 		{"RunSpec", syncron.RunSpec{}, 3},
-		{"Config", syncron.Config{}, 13},
+		{"Config", syncron.Config{}, 14},
 		{"WorkloadParams", syncron.WorkloadParams{}, 6},
 	} {
 		if got := reflect.TypeOf(c.v).NumField(); got != c.want {
@@ -104,6 +105,7 @@ func TestSpecKeyChangesWithEveryField(t *testing.T) {
 		"Units":             func(s *syncron.RunSpec) { s.Config.Units = 3 },
 		"CoresPerUnit":      func(s *syncron.RunSpec) { s.Config.CoresPerUnit = 4 },
 		"Memory":            func(s *syncron.RunSpec) { s.Config.Memory = syncron.HMC },
+		"MemModel":          func(s *syncron.RunSpec) { s.Config.MemModel = syncron.MemModelBank },
 		"Topology":          func(s *syncron.RunSpec) { s.Config.Topology = syncron.TopoRing },
 		"LinkLatency":       func(s *syncron.RunSpec) { s.Config.LinkLatency = syncron.Nanosecond },
 		"STEntries":         func(s *syncron.RunSpec) { s.Config.STEntries = 16 },

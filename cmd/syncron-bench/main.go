@@ -22,18 +22,23 @@
 // The -perf mode replays the canonical `figures --quick` grids
 // (syncron.FigureSweeps) several times under the serial engine, again under
 // the parallel dispatcher at each worker count of -perf-parallel (default
-// 1,2,4,8), and finally as a tracer-off/tracer-on pair (the second with a
+// 1,2,4,8), as a tracer-off/tracer-on pair (the second with a
 // record-dropping tracer attached) that prices the tracing layer's hook
-// points, and writes BENCH.json: one entry per configuration with wall time
-// per repetition, simulated events/sec, allocations per event, and peak
-// heap. On a single-CPU host the multi-worker entries are skipped, not
+// points, and finally as a mem-flat/mem-bank pair that prices the DRAM
+// timing-model axis, and writes BENCH.json: one entry per configuration with
+// wall time per repetition, simulated events/sec, allocations per event, and
+// peak heap. On a single-CPU host the multi-worker entries are skipped, not
 // faked — a "parallel-4" number measured on one core would read as a
 // regression that is really just oversubscription; every entry records the
 // host's CPU count so reports from different hosts compare honestly. The
-// event count must be identical across repetitions AND across every entry —
-// the simulator is deterministic and engine parallelism never changes what
-// executes — so BENCH.json doubles as a determinism check. CI's bench smoke
-// job and the repo's recorded perf trajectory both read this file.
+// event count must be identical across repetitions AND across every entry
+// except mem-bank — the simulator is deterministic and engine parallelism
+// and tracing never change what executes. mem-bank genuinely changes memory
+// timing (different latencies reorder spin/retry loops), so it is only
+// required to be internally consistent across its own repetitions. BENCH.json
+// thus doubles as a determinism check. CI's bench smoke job, the perf gates
+// (scripts/perf_gate.sh, scripts/mem_gate.sh), and the repo's recorded perf
+// trajectory all read this file.
 package main
 
 import (
@@ -135,6 +140,9 @@ type perfReport struct {
 	// Reps is the number of repetitions per entry; SimRuns and Events are
 	// per repetition and identical across reps AND entries (the simulator is
 	// deterministic, and engine parallelism must not change what executes).
+	// Exception: the mem-bank entry runs under a different DRAM timing model,
+	// so its event count legitimately differs from Events; it is still pinned
+	// identical across its own repetitions.
 	Reps    int    `json:"reps"`
 	SimRuns int    `json:"sim_runs_per_rep"`
 	Events  uint64 `json:"events_per_rep"`
@@ -146,9 +154,14 @@ type perfReport struct {
 type perfEntry struct {
 	// Name distinguishes entries: "serial" is the comparable-across-hosts
 	// headline, "parallel-N" measures the engine's parallel dispatcher with
-	// N workers, and the "tracer-off"/"tracer-on" pair prices the tracing
-	// layer (off = nil tracer, on = a tracer that drops every record).
+	// N workers, the "tracer-off"/"tracer-on" pair prices the tracing
+	// layer (off = nil tracer, on = a tracer that drops every record), and
+	// the "mem-flat"/"mem-bank" pair prices the DRAM timing-model axis
+	// (flat must match serial exactly; bank runs the row-buffer scheduler).
 	Name string `json:"name"`
+	// MemModel is the DRAM timing model the entry ran under; empty means the
+	// default (flat).
+	MemModel string `json:"mem_model,omitempty"`
 	// Workers is the sweep worker count (simultaneous runs). The serial
 	// entry uses 1 so wall time measures single-run simulator throughput.
 	Workers int `json:"workers"`
@@ -219,19 +232,21 @@ func (s *heapSampler) halt() {
 // syncron.ParallelismSerial); the recorded entry keeps the engine-level
 // worker count, 0 for serial. tracer, when non-nil, is attached to every run
 // (it must be stateless, like syncron.DiscardTracer, since runs can execute
-// concurrently).
-func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampler, tracer syncron.Tracer) (perfEntry, int, uint64, error) {
+// concurrently). memModel, when non-empty, switches every run onto that DRAM
+// timing model.
+func measurePerf(name string, workers, parallelism, reps int, sampler *heapSampler, tracer syncron.Tracer, memModel syncron.MemModel) (perfEntry, int, uint64, error) {
 	sweeps := syncron.FigureSweeps(syncron.FigureOptions{
 		Quick: true, Workers: workers, Parallelism: parallelism,
 	})
 	for i := range sweeps {
 		sweeps[i].Base.Tracer = tracer
+		sweeps[i].Base.MemModel = memModel
 	}
 	recorded := parallelism
 	if recorded < 0 {
 		recorded = 0
 	}
-	entry := perfEntry{Name: name, Workers: workers, Parallelism: recorded, NumCPU: runtime.NumCPU()}
+	entry := perfEntry{Name: name, MemModel: string(memModel), Workers: workers, Parallelism: recorded, NumCPU: runtime.NumCPU()}
 	var events uint64
 	simRuns := 0
 	var before runtime.MemStats
@@ -335,7 +350,7 @@ func runPerf(reps, workers int, parallelList, out string) error {
 		NumCPU:    runtime.NumCPU(),
 		Reps:      reps,
 	}
-	serial, simRuns, events, err := measurePerf("serial", workers, syncron.ParallelismSerial, reps, sampler, nil)
+	serial, simRuns, events, err := measurePerf("serial", workers, syncron.ParallelismSerial, reps, sampler, nil, "")
 	if err != nil {
 		return err
 	}
@@ -343,7 +358,7 @@ func runPerf(reps, workers int, parallelList, out string) error {
 	rep.Events = events
 	rep.Entries = []perfEntry{serial}
 	for _, n := range counts {
-		entry, runs, ev, err := measurePerf(fmt.Sprintf("parallel-%d", n), workers, n, reps, sampler, nil)
+		entry, runs, ev, err := measurePerf(fmt.Sprintf("parallel-%d", n), workers, n, reps, sampler, nil, "")
 		if err != nil {
 			return err
 		}
@@ -363,13 +378,34 @@ func runPerf(reps, workers int, parallelList, out string) error {
 		name   string
 		tracer syncron.Tracer
 	}{{"tracer-off", nil}, {"tracer-on", syncron.DiscardTracer}} {
-		entry, runs, ev, err := measurePerf(tc.name, workers, syncron.ParallelismSerial, reps, sampler, tc.tracer)
+		entry, runs, ev, err := measurePerf(tc.name, workers, syncron.ParallelismSerial, reps, sampler, tc.tracer, "")
 		if err != nil {
 			return err
 		}
 		// Tracing is observational: it must not change what executes either.
 		if ev != events || runs != simRuns {
 			return fmt.Errorf("%s executed %d events over %d runs, serial executed %d over %d — tracing changed the simulation",
+				entry.Name, ev, runs, events, simRuns)
+		}
+		rep.Entries = append(rep.Entries, entry)
+	}
+	// The DRAM timing-model pair: mem-flat re-measures the serial configuration
+	// with the model named explicitly (it must execute exactly what serial
+	// executed — flat is the default, so any divergence means the axis leaked
+	// into the flat path), and mem-bank runs the bank/row-buffer scheduler.
+	// mem-bank's event count legitimately differs — different memory latencies
+	// reorder spin and retry loops — so it is only pinned internally consistent
+	// across repetitions (measurePerf enforces that), never against serial.
+	for _, mc := range []struct {
+		name  string
+		model syncron.MemModel
+	}{{"mem-flat", syncron.MemModelFlat}, {"mem-bank", syncron.MemModelBank}} {
+		entry, runs, ev, err := measurePerf(mc.name, workers, syncron.ParallelismSerial, reps, sampler, nil, mc.model)
+		if err != nil {
+			return err
+		}
+		if mc.model == syncron.MemModelFlat && (ev != events || runs != simRuns) {
+			return fmt.Errorf("%s executed %d events over %d runs, serial executed %d over %d — the mem-model axis perturbed the flat path",
 				entry.Name, ev, runs, events, simRuns)
 		}
 		rep.Entries = append(rep.Entries, entry)

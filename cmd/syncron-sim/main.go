@@ -15,6 +15,7 @@
 //	syncron-sim sweep -workloads lock,barrier -units-list 1,2,4 -workers 8 -json out.json
 //	syncron-sim sweep -workloads ts.air -schemes syncron -st-list 16,32,64 -csv out.csv
 //	syncron-sim sweep -workloads lock,stack -topology mesh,ring,alltoall -csv topo.csv
+//	syncron-sim sweep -workloads lock,stack -mem-model flat,bank -csv mem.csv
 //
 // Sweeps at scale — content-addressed result caching and deterministic
 // N-way sharding (shards are disjoint, exhaustive, and seed-identical to
@@ -31,6 +32,7 @@
 //	syncron-sim figures --quick
 //	syncron-sim figures -baseline central -md figures.md -csv-dir out/
 //	syncron-sim figures --quick -topologies alltoall,mesh,ring,star
+//	syncron-sim figures --quick -mem bank
 //	syncron-sim figures --quick -cache .gridcache   # second run simulates nothing
 //
 // Serving (long-running daemon: POST RunSpecs or sweep grids over HTTP,
@@ -107,14 +109,15 @@ func listCmd() {
 // configFlags registers the flags shared by run and sweep and returns a
 // closure resolving them into a Config, plus the raw -cores flag (total
 // client cores) so sweep can re-derive CoresPerUnit per grid point, the raw
-// -topology flag (run takes one topology; sweep accepts a comma list as a
-// grid axis), and the raw -parallel flag so sweep can apply it to canonical
-// -grid specs after expansion.
-func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *string) {
+// -topology and -mem-model flags (run takes one value each; sweep accepts
+// comma lists as grid axes), and the raw -parallel flag so sweep can apply it
+// to canonical -grid specs after expansion.
+func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *string, *string) {
 	var (
 		units    = fs.Int("units", 4, "NDP units")
 		cores    = fs.Int("cores", 0, "total client cores (default units*15)")
 		memTech  = fs.String("mem", "hbm", "hbm | hmc | ddr4")
+		memModel = fs.String("mem-model", "", "DRAM timing model: flat | bank (default flat); sweep accepts a comma-separated grid axis")
 		topology = fs.String("topology", "", "interconnect: alltoall | mesh | ring | star (default alltoall); sweep accepts a comma-separated grid axis")
 		linkNS   = fs.Int64("link-ns", 0, "inter-unit transfer latency in ns (default 40)")
 		stSize   = fs.Int("st", 0, "SynCron ST entries (default 64)")
@@ -143,7 +146,7 @@ func configFlags(fs *flag.FlagSet) (func() syncron.Config, *int, *string, *strin
 			cfg.CoresPerUnit = *cores / *units
 		}
 		return cfg
-	}, cores, topology, parallel
+	}, cores, topology, memModel, parallel
 }
 
 // parseParallel resolves a -parallel flag value to Config.Parallelism
@@ -177,6 +180,19 @@ func parseTopologyList(s string) []syncron.Topology {
 	return topos
 }
 
+// parseMemModelList resolves a comma-separated -mem-model value.
+func parseMemModelList(s string) []syncron.MemModel {
+	var models []syncron.MemModel
+	for _, name := range splitList(s) {
+		m, err := syncron.ParseMemModel(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		models = append(models, m)
+	}
+	return models
+}
+
 func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
@@ -190,7 +206,7 @@ func runCmd(args []string) {
 		printSpec = fs.Bool("print-spec", false, "print the canonical RunSpec JSON and exit without simulating (the exact payload to POST to a serve daemon)")
 		traceOut  = fs.String("trace", "", "write a time-resolved trace CSV of the run to this path; output is byte-identical at any -parallel setting")
 	)
-	cfg, _, topology, _ := configFlags(fs)
+	cfg, _, topology, memModel, _ := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	spec := syncron.RunSpec{
@@ -209,6 +225,11 @@ func runCmd(args []string) {
 		fatal("%v", err)
 	}
 	spec.Config.Topology = topo
+	mmodel, err := syncron.ParseMemModel(*memModel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	spec.Config.MemModel = mmodel
 	if _, ok := syncron.LookupWorkload(*workload); !ok {
 		fatal("unknown workload %q (try `syncron-sim list`)", *workload)
 	}
@@ -276,6 +297,9 @@ func report(res syncron.RunResult) {
 	}
 	fmt.Printf("energy          cache %.1f uJ, network %.1f uJ, memory %.1f uJ (total %.1f uJ)\n",
 		res.CacheEnergyPJ/1e6, res.NetworkEnergyPJ/1e6, res.MemoryEnergyPJ/1e6, res.TotalEnergyPJ()/1e6)
+	if res.Spec.Config.MemModel == syncron.MemModelBank {
+		fmt.Printf("row buffer      %.1f%% hit rate\n", res.RowHitRate*100)
+	}
 	fmt.Printf("data movement   %.1f KB inside units, %.1f KB across units\n",
 		float64(res.BytesInsideUnits)/1024, float64(res.BytesAcrossUnits)/1024)
 	if res.AvgRouteLinks > 0 {
@@ -385,7 +409,7 @@ func sweepCmd(args []string) {
 		failFast  = fs.Bool("fail-fast", false, "cancel unstarted runs as soon as any run fails")
 		traceDir  = fs.String("trace", "", "write one time-resolved trace CSV per run into this directory; incompatible with -cache/-shard (a cached run skips the simulation a trace observes)")
 	)
-	cfg, cores, topology, parallel := configFlags(fs)
+	cfg, cores, topology, memModel, parallel := configFlags(fs)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	runner := syncron.SpecRunner{
@@ -442,6 +466,7 @@ func sweepCmd(args []string) {
 		sw := syncron.Sweep{
 			Workloads:  names,
 			Topologies: parseTopologyList(*topology),
+			MemModels:  parseMemModelList(*memModel),
 			Base:       cfg(),
 			Params: syncron.WorkloadParams{Scale: *scale, OpsPerCore: *ops,
 				Interval: *interval, Metis: *metis},
@@ -538,6 +563,7 @@ func figuresCmd(args []string) {
 		workloads = fs.String("workloads", "", "comma-separated workload names for the main grid (empty = canonical set)")
 		scale     = fs.Float64("scale", 0, "workload scale factor (0 = canonical default)")
 		topos     = fs.String("topologies", "", "comma-separated topologies for the interconnect sensitivity figure (empty = skip it)")
+		memModels = fs.String("mem", "", "comma-separated DRAM timing models for the memory sensitivity figure (empty = skip it)")
 		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS); never affects results")
 		parallel  = fs.String("parallel", "auto", "event-engine dispatch: auto | serial | worker count; never affects results")
 		baseSeed  = fs.Uint64("base-seed", 0, "base for deterministic per-run seeds")
@@ -571,6 +597,7 @@ func figuresCmd(args []string) {
 		Parallelism: parseParallel(*parallel),
 		BaseSeed:    *baseSeed,
 		Topologies:  parseTopologyList(*topos),
+		MemModels:   parseMemModelList(*memModels),
 		CacheOnly:   *fromDir != "",
 		TraceDir:    *traceDir,
 	}

@@ -84,6 +84,12 @@ type FigureOptions struct {
 	// baseline if missing). Leaving it empty skips the figure, keeping the
 	// default figure set — and its byte-exact output — unchanged.
 	Topologies []Topology
+	// MemModels, when non-empty, adds the DRAM-model sensitivity figure: the
+	// memory grid runs memoryWorkloads under every compared scheme for each
+	// listed model (MemModelFlat is added as the normalization baseline if
+	// missing). Leaving it empty skips the figure, keeping the default figure
+	// set — and its byte-exact output — unchanged.
+	MemModels []MemModel
 	// Scale is the workload scale factor (default 0.25, or 0.1 under Quick).
 	Scale float64
 	// Workers bounds simultaneous runs (default GOMAXPROCS). It affects
@@ -138,6 +144,7 @@ var quickWorkloads = []string{
 var (
 	scalabilityWorkloads      = []string{"bfs.sl", "pr.wk", "ts.air", "ts.pow"}
 	topologyWorkloads         = []string{"lock", "stack", "pr.wk", "ts.air"}
+	memoryWorkloads           = []string{"lock", "stack", "pr.wk", "ts.air"}
 	stAblationWorkloads       = []string{"ts.air", "bst_fg"}
 	stAblationSizes           = []int{64, 48, 32, 16, 8}
 	stAblationSizesQuick      = []int{64, 16, 8}
@@ -190,6 +197,17 @@ func (o FigureOptions) withDefaults() FigureOptions {
 			o.Topologies = append([]Topology{TopoAllToAll}, o.Topologies...)
 		}
 	}
+	if len(o.MemModels) > 0 {
+		hasBase := false
+		for _, m := range o.MemModels {
+			if m == MemModelFlat {
+				hasBase = true
+			}
+		}
+		if !hasBase {
+			o.MemModels = append([]MemModel{MemModelFlat}, o.MemModels...)
+		}
+	}
 	return o
 }
 
@@ -206,6 +224,9 @@ func (o FigureOptions) withDefaults() FigureOptions {
 //   - topology: interconnect sensitivity — slowdown, network energy, and
 //     link traffic per topology vs the all-to-all baseline (only when
 //     FigureOptions.Topologies is non-empty)
+//   - memory: DRAM-model sensitivity — slowdown, memory energy, and row-hit
+//     rate per timing model vs the flat baseline (only when
+//     FigureOptions.MemModels is non-empty)
 //   - trace: time-resolved engine/link/lock summaries from traced re-runs of
 //     a small workload subset, with the full traces and their analysis views
 //     written into FigureOptions.TraceDir as CSV files (only when TraceDir
@@ -274,6 +295,17 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 		}
 		figs = append(figs, topologyFigure(rows))
 	}
+	if grids.memory != nil {
+		memGrid, err := runGrid(*grids.memory)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := MemSensitivity(memGrid, MemModelFlat)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, memoryFigure(rows))
+	}
 	if o.TraceDir != "" {
 		fig, err := traceFigure(o)
 		if err != nil {
@@ -286,14 +318,18 @@ func Figures(opt FigureOptions) ([]*Figure, error) {
 
 // FigureSweeps returns the canonical sweeps Figures(opt) runs, in order: the
 // main (workload x scheme) grid, the scalability grid, the ST-ablation grid,
-// and — only when opt.Topologies is non-empty — the topology grid. The
-// macro-benchmark mode (`syncron-bench -perf`) replays exactly these grids,
-// so perf trajectories measure the same work the figures pipeline does.
+// and — only when the corresponding option is non-empty — the topology and
+// memory grids. The macro-benchmark mode (`syncron-bench -perf`) replays
+// exactly these grids, so perf trajectories measure the same work the
+// figures pipeline does.
 func FigureSweeps(opt FigureOptions) []Sweep {
 	g := figureGridsFor(opt.withDefaults())
 	sweeps := []Sweep{g.main, g.scalability, g.stAblation}
 	if g.topology != nil {
 		sweeps = append(sweeps, *g.topology)
+	}
+	if g.memory != nil {
+		sweeps = append(sweeps, *g.memory)
 	}
 	return sweeps
 }
@@ -305,6 +341,7 @@ type figureGrids struct {
 	scalability Sweep
 	stAblation  Sweep
 	topology    *Sweep // nil unless FigureOptions.Topologies is non-empty
+	memory      *Sweep // nil unless FigureOptions.MemModels is non-empty
 
 	// scalUnits is the x-axis of the scalability figure — the same Units list
 	// the scalability sweep runs.
@@ -364,6 +401,18 @@ func figureGridsFor(o FigureOptions) figureGrids {
 			Base:       Config{Seed: o.BaseSeed, Parallelism: o.Parallelism},
 			Cache:      o.Cache,
 			CacheOnly:  o.CacheOnly,
+		}
+	}
+	if len(o.MemModels) > 0 {
+		g.memory = &Sweep{
+			Workloads: registeredOnly(memoryWorkloads),
+			Schemes:   o.Schemes,
+			MemModels: o.MemModels,
+			Params:    WorkloadParams{Scale: o.Scale},
+			Workers:   o.Workers,
+			Base:      Config{Seed: o.BaseSeed, Parallelism: o.Parallelism},
+			Cache:     o.Cache,
+			CacheOnly: o.CacheOnly,
 		}
 	}
 	return g
@@ -532,6 +581,25 @@ func topologyFigure(rows []TopologyRow) *Figure {
 		f.Rows = append(f.Rows, []string{r.Workload, string(r.Scheme), string(r.Topology),
 			fmt.Sprint(r.Diameter), fmtF2(r.AvgRouteLinks), fmtF1(r.OpsPerMs),
 			fmtF2(r.SlowdownVsBase), fmtF2(r.NetworkEnergyX), fmtF2(r.LinkBytesX)})
+	}
+	return f
+}
+
+func memoryFigure(rows []MemRow) *Figure {
+	f := &Figure{
+		ID: "memory",
+		Title: fmt.Sprintf("DRAM-model sensitivity: slowdown, memory energy, and row locality vs %s",
+			MemModelFlat),
+		Columns: []string{"workload", "scheme", "mem model", "row hit rate",
+			"ops/ms", "slowdown", "mem energy x"},
+		Notes: "slowdown/energy are relative to the flat-model run of the same workload, scheme, " +
+			"and grid point (flat = 1.00); the bank model rewards row locality with column-only " +
+			"hits and activate/precharge energy savings",
+	}
+	for _, r := range rows {
+		f.Rows = append(f.Rows, []string{r.Workload, string(r.Scheme), string(r.MemModel),
+			fmtPct(r.RowHitRate), fmtF1(r.OpsPerMs),
+			fmtF2(r.SlowdownVsBase), fmtF2(r.MemEnergyX)})
 	}
 	return f
 }

@@ -28,6 +28,11 @@ type Config struct {
 
 	Mem mem.Tech // memory technology (default HBM / 2.5D)
 
+	// MemModel selects the DRAM timing model (default mem.ModelFlat; see
+	// internal/mem). The flat model is pinned bit-exact by the goldens; the
+	// bank model adds row-buffer and bank-level timing on the same channels.
+	MemModel mem.Model
+
 	// Topology selects how NDP units are wired (default full point-to-point,
 	// network.KindAllToAll).
 	Topology network.Kind
@@ -73,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Topology == "" {
 		c.Topology = network.KindAllToAll
+	}
+	if c.MemModel == "" {
+		c.MemModel = mem.ModelFlat
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -135,7 +143,7 @@ func NewMachine(cfg Config) *Machine {
 	}
 	timing := mem.TimingFor(cfg.Mem)
 	for u := 0; u < cfg.Units; u++ {
-		m.Mems = append(m.Mems, mem.New(eng, u, timing))
+		m.Mems = append(m.Mems, mem.NewModel(eng, u, timing, cfg.MemModel))
 		m.allocNext[u] = mem.Line // keep address 0 unused
 		m.allocNextU[u] = mem.Line
 	}
@@ -147,16 +155,25 @@ func NewMachine(cfg Config) *Machine {
 		m.engHook = trace.NewEngineHook(cfg.Tracer, 0)
 		eng.SetHook(m.engHook)
 		m.Net.SetTracer(cfg.Tracer)
+		for _, mm := range m.Mems {
+			mm.SetTracer(cfg.Tracer)
+		}
 	}
 	return m
 }
 
 // FlushTrace finalizes the tracing layer after a run: it emits the engine
-// hook's last partial bucket. A no-op when tracing is disabled; callers
-// (syncron.System.Run) invoke it unconditionally once the engine drains.
+// hook's last partial bucket and drains the memory stacks' buffered bank
+// spans (runs on the engine goroutine, after the engine drains — the only
+// point where another goroutine may not be touching a Memory). A no-op when
+// tracing is disabled; callers (syncron.System.Run) invoke it
+// unconditionally once the engine drains.
 func (m *Machine) FlushTrace() {
 	if m.engHook != nil {
 		m.engHook.Flush(m.Engine.Executed)
+	}
+	for _, mm := range m.Mems {
+		mm.FlushTrace()
 	}
 }
 
@@ -170,7 +187,9 @@ func (m *Machine) NumCores() int { return m.Cfg.Units * m.Cfg.CoresPerUnit }
 // run concurrently under the parallel dispatcher:
 //
 //   - units 0..Units-1 are resource units: NDP unit u's crossbar row,
-//     DRAM stack, and per-unit traffic shards belong to ResourceUnit(u);
+//     DRAM stack (including its bank/row-buffer state and buffered trace
+//     spans under the bank memory model), and per-unit traffic shards belong
+//     to ResourceUnit(u);
 //   - units Units..Units+NumCores-1 are core units: core c's program state
 //     and private L1 belong to CoreUnit(c).
 //
@@ -355,11 +374,24 @@ func (m *Machine) EnergyBreakdown() Energy {
 		e.CachePJ += m.Backend.ExtraCacheEnergyPJ()
 	}
 	e.NetworkPJ = m.Net.EnergyPJ()
-	timing := mem.TimingFor(m.Cfg.Mem)
 	for _, mm := range m.Mems {
-		e.MemoryPJ += mm.Stats.EnergyPJ(timing)
+		e.MemoryPJ += mm.EnergyPJ()
 	}
 	return e
+}
+
+// RowHitRate returns the machine-wide fraction of DRAM accesses that hit an
+// open row. Always 0 under the flat memory model.
+func (m *Machine) RowHitRate() float64 {
+	var hits, misses uint64
+	for _, mm := range m.Mems {
+		hits += mm.Stats.RowHits.Value()
+		misses += mm.Stats.RowMisses.Value()
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // DataMovement reports bytes moved inside and across NDP units.

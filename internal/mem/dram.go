@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"syncron/internal/sim"
+	"syncron/internal/trace"
 )
 
 // Tech selects a memory technology model.
@@ -56,9 +57,13 @@ const Line = 64
 //   - HBM 1.0, 500 MHz, 8 channels: nRCDR/nRCDW/nRAS/nWR = 7/6/17/8 ns.
 //     Random read ≈ nRCDR + column access ≈ 7+7 ns; write ≈ 6+8 ns.
 //   - HMC 2.1, 1250 MHz, 32 vaults: nRCD/nRAS/nWR = 17/34/19 ns.
-//   - DDR4 2400, 4 DIMMs (one per NDP unit → 1 channel each... the paper
-//     attaches 4 DIMMs; we give each unit one DIMM with its own channel):
-//     nRCD/nRAS/nWR = 16/39/18 ns.
+//   - DDR4 2400, 4 DIMMs: nRCD/nRAS/nWR = 16/39/18 ns. The paper attaches
+//     4 DIMMs to the 2D NDP system, one per NDP unit, and this package
+//     models memory per unit — so each unit sees exactly one DIMM on its own
+//     dedicated channel, hence Channels = 1 here (the 4 DIMM channels of the
+//     whole system are the 4 per-unit Memory instances, not 4 channels inside
+//     one Memory). Random read ≈ nRCD + column access ≈ 16+14 ns; write ≈
+//     16+16 ns including recovery.
 //
 // ChannelBusy approximates per-64B occupancy from peak per-channel bandwidth
 // (HBM: 16 GB/s/ch → 4 ns; HMC vault: 10 GB/s → 6.4 ns; DDR4: 19.2 GB/s DIMM
@@ -83,9 +88,16 @@ func TimingFor(t Tech) Timing {
 }
 
 // Stats aggregates memory activity for energy and data-movement reporting.
+// The row/bank counters stay zero under the flat model.
 type Stats struct {
 	Reads  sim.Counter
 	Writes sim.Counter
+
+	RowHits     sim.Counter // bank model: accesses that hit the open row
+	RowMisses   sim.Counter // bank model: closed-bank and row-conflict accesses
+	Activates   sim.Counter // bank model: activate commands issued
+	Precharges  sim.Counter // bank model: precharge commands issued
+	QueueStalls sim.Counter // bank model: accesses delayed by a full bank queue
 }
 
 // Accesses returns the total access count.
@@ -97,7 +109,10 @@ func (s *Stats) EnergyPJ(t Timing) float64 {
 	return bits * t.EnergyPJPerBit
 }
 
-// Memory models one NDP unit's DRAM stack.
+// Memory models one NDP unit's DRAM stack. With New it runs the flat model
+// above; with NewBank (or NewModel with ModelBank) the bank/row-buffer model
+// of bank.go refines the same channel interleave and blocking Access
+// contract.
 type Memory struct {
 	Unit   int
 	Timing Timing
@@ -105,6 +120,13 @@ type Memory struct {
 
 	eng      *sim.Engine
 	busyTill []sim.Time // per-channel
+
+	// Bank model state (nil / unused under the flat model); see bank.go.
+	bank  *BankTiming
+	banks []bankState
+	tr    trace.Tracer
+	where string
+	spans []trace.Record
 }
 
 // New returns a memory stack for the given unit.
@@ -123,8 +145,12 @@ func (m *Memory) channelOf(addr uint64) int {
 }
 
 // Access issues a read or write of one line starting at time t and returns
-// the completion time. Channel contention is modelled as FIFO occupancy.
+// the completion time. Under the flat model channel contention is modelled
+// as FIFO occupancy; under the bank model see bankAccess.
 func (m *Memory) Access(t sim.Time, addr uint64, write bool) sim.Time {
+	if m.bank != nil {
+		return m.bankAccess(t, addr, write)
+	}
 	ch := m.channelOf(addr)
 	start := t
 	if m.busyTill[ch] > start {

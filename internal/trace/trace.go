@@ -64,6 +64,9 @@ const (
 	WhatBarrierWait = "barrier_wait" // backend: barrier arrive -> release span
 	WhatSemWait     = "sem_wait"     // backend: semaphore P() wait span
 	WhatCondWait    = "cond_wait"    // backend: condition-variable wait span
+	WhatBankBusy    = "bank_busy"    // mem (bank model): one access's occupancy of a bank
+	WhatRowHit      = "row_hit"      // mem (bank model): run-total open-row hits per stack
+	WhatRowMiss     = "row_miss"     // mem (bank model): run-total row misses per stack
 )
 
 // compareRecords is the total order trace output is committed in. Every

@@ -37,6 +37,9 @@ func (cfg Config) apply(c *Config) {
 	if cfg.Topology != "" {
 		c.Topology = cfg.Topology
 	}
+	if cfg.MemModel != "" {
+		c.MemModel = cfg.MemModel
+	}
 	if cfg.LinkLatency != 0 {
 		c.LinkLatency = cfg.LinkLatency
 	}
@@ -77,6 +80,9 @@ func WithMemory(t MemoryTech) Option { return optionFunc(func(c *Config) { c.Mem
 
 // WithTopology selects the inter-unit interconnect topology.
 func WithTopology(t Topology) Option { return optionFunc(func(c *Config) { c.Topology = t }) }
+
+// WithMemModel selects the DRAM timing model (MemModelFlat, MemModelBank).
+func WithMemModel(m MemModel) Option { return optionFunc(func(c *Config) { c.MemModel = m }) }
 
 // WithLinkLatency overrides the inter-unit transfer latency per cache line.
 func WithLinkLatency(t Time) Option { return optionFunc(func(c *Config) { c.LinkLatency = t }) }

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# mem_gate.sh [BENCH.json] — gate the DRAM timing-model axis from a
+# syncron-bench -perf report, two ways:
+#
+#  1. Flat preservation: the mem-flat entry re-runs the serial configuration
+#     with the model named explicitly, so it must reach at least
+#     (100 - MAX_MEM_FLAT_DEFICIT_PCT)% of the serial entry's events/sec
+#     (default: 5%). Both entries come from the SAME report on the SAME
+#     host back-to-back, so the tolerance only absorbs run-to-run noise —
+#     a real slowdown here means the mem-model dispatch leaked cost into
+#     the default flat path.
+#
+#  2. Bank-path allocation pin: the mem-bank entry's allocs_per_event must
+#     stay below MAX_BANK_ALLOCS_PER_EVENT (default 0.05). The bank
+#     scheduler's hot path is allocation-free by construction (pinned
+#     per-access by TestBankAccessSteadyStateAllocFree); this end-to-end
+#     bound catches steady-state allocations the unit test's narrow loop
+#     cannot see, while leaving room for per-run setup.
+#
+# The gate skips (exit 0, with a notice) when the report predates the
+# mem-flat/mem-bank entries, so it is safe to run against historical
+# reports. Requires jq.
+set -euo pipefail
+
+f=${1:-BENCH.json}
+max_deficit=${MAX_MEM_FLAT_DEFICIT_PCT:-5}
+max_allocs=${MAX_BANK_ALLOCS_PER_EVENT:-0.05}
+
+if [ ! -f "$f" ]; then
+    echo "mem_gate: $f not found" >&2
+    exit 2
+fi
+if ! command -v jq >/dev/null; then
+    echo "mem_gate: jq not found" >&2
+    exit 2
+fi
+
+serial=$(jq -r '[.entries[] | select(.name == "serial")][0].events_per_sec // empty' "$f")
+flat=$(jq -r '[.entries[] | select(.name == "mem-flat")][0].events_per_sec // empty' "$f")
+bank_allocs=$(jq -r '[.entries[] | select(.name == "mem-bank")][0].allocs_per_event // empty' "$f")
+
+if [ -z "$serial" ]; then
+    echo "mem_gate: $f has no serial entry; refusing a vacuous pass" >&2
+    exit 2
+fi
+if [ -z "$flat" ] || [ -z "$bank_allocs" ]; then
+    echo "mem_gate: no mem-flat/mem-bank entries in $f (report predates the mem-model axis); skipping"
+    exit 0
+fi
+
+status=0
+
+# Gate 1 — flat preservation. Ratio as integer percent; jq does the float
+# math so the shell doesn't.
+pct=$(jq -r --argjson s "$serial" --argjson p "$flat" -n '($p / $s * 100) | round')
+echo "mem_gate: mem-flat at ${pct}% of serial throughput ($flat vs $serial events/sec)"
+if [ "$pct" -lt "$((100 - max_deficit))" ]; then
+    echo "MEM-MODEL REGRESSION: mem-flat runs at ${pct}% of serial (< $((100 - max_deficit))% floor) — the mem-model axis is taxing the default flat path" >&2
+    status=1
+fi
+
+# Gate 2 — bank-path allocation pin.
+over=$(jq -r --argjson a "$bank_allocs" --argjson max "$max_allocs" -n 'if $a > $max then 1 else 0 end')
+echo "mem_gate: mem-bank at $bank_allocs allocs/event (ceiling $max_allocs)"
+if [ "$over" -eq 1 ]; then
+    echo "MEM-MODEL REGRESSION: mem-bank allocates $bank_allocs per event (> $max_allocs ceiling) — the bank scheduler hot path is allocating in steady state" >&2
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    exit 1
+fi
+echo "mem gate passed."

@@ -44,6 +44,10 @@ type RunResult struct {
 	NetworkEnergyPJ float64 `json:"network_energy_pj"`
 	MemoryEnergyPJ  float64 `json:"memory_energy_pj"`
 
+	// RowHitRate is the fraction of DRAM accesses that hit an open row buffer
+	// (bank memory model only; always 0 under the flat model).
+	RowHitRate float64 `json:"row_hit_rate,omitempty"`
+
 	// Data movement in bytes; BytesAcrossUnits counts every inter-unit link
 	// traversed (route length matters on multi-hop topologies).
 	BytesInsideUnits uint64 `json:"bytes_inside_units"`
@@ -129,6 +133,7 @@ func Execute(spec RunSpec) (res RunResult) {
 	res.CacheEnergyPJ = rep.CacheEnergyPJ
 	res.NetworkEnergyPJ = rep.NetworkEnergyPJ
 	res.MemoryEnergyPJ = rep.MemoryEnergyPJ
+	res.RowHitRate = rep.RowHitRate
 	res.BytesInsideUnits = rep.BytesInsideUnits
 	res.BytesAcrossUnits = rep.BytesAcrossUnits
 	res.AvgRouteLinks = rep.AvgRouteLinks
@@ -152,11 +157,12 @@ type Sweep struct {
 	Workloads []string
 	// Schemes to compare (default: SchemeSynCron only).
 	Schemes []Scheme
-	// Units, Topologies, Memories, LinkLatencies, and STEntries are optional
-	// grid axes; an empty axis uses the Base value.
+	// Units, Topologies, Memories, MemModels, LinkLatencies, and STEntries
+	// are optional grid axes; an empty axis uses the Base value.
 	Units         []int
 	Topologies    []Topology
 	Memories      []MemoryTech
+	MemModels     []MemModel
 	LinkLatencies []Time
 	STEntries     []int
 	// Base is the configuration every run starts from; axis values and the
@@ -193,7 +199,7 @@ func (s Sweep) WithCache(c ResultCache) Sweep {
 }
 
 // Expand enumerates the grid in a fixed order: workload outermost, then
-// scheme, topology, units, memory, link latency, ST entries.
+// scheme, topology, units, memory, memory model, link latency, ST entries.
 func (s Sweep) Expand() []RunSpec {
 	schemes := s.Schemes
 	if len(schemes) == 0 {
@@ -211,6 +217,10 @@ func (s Sweep) Expand() []RunSpec {
 	if len(mems) == 0 {
 		mems = []MemoryTech{s.Base.Memory}
 	}
+	models := s.MemModels
+	if len(models) == 0 {
+		models = []MemModel{s.Base.MemModel}
+	}
 	links := s.LinkLatencies
 	if len(links) == 0 {
 		links = []Time{s.Base.LinkLatency}
@@ -225,16 +235,19 @@ func (s Sweep) Expand() []RunSpec {
 			for _, topo := range topos {
 				for _, u := range units {
 					for _, m := range mems {
-						for _, l := range links {
-							for _, st := range sts {
-								cfg := s.Base
-								cfg.Scheme = scheme
-								cfg.Topology = topo
-								cfg.Units = u
-								cfg.Memory = m
-								cfg.LinkLatency = l
-								cfg.STEntries = st
-								specs = append(specs, RunSpec{Workload: w, Config: cfg, Params: s.Params})
+						for _, mm := range models {
+							for _, l := range links {
+								for _, st := range sts {
+									cfg := s.Base
+									cfg.Scheme = scheme
+									cfg.Topology = topo
+									cfg.Units = u
+									cfg.Memory = m
+									cfg.MemModel = mm
+									cfg.LinkLatency = l
+									cfg.STEntries = st
+									specs = append(specs, RunSpec{Workload: w, Config: cfg, Params: s.Params})
+								}
 							}
 						}
 					}
@@ -638,11 +651,12 @@ func WriteJSON(w io.Writer, results []RunResult) error {
 
 // csvHeader is the column order of WriteCSV.
 var csvHeader = []string{"workload", "kind", "scheme", "topology", "units",
-	"cores_per_unit", "memory", "link_latency_ps", "st_entries", "seed",
-	"makespan_ps", "ops", "ops_per_ms", "mops_per_sec", "cache_energy_pj",
-	"network_energy_pj", "memory_energy_pj", "bytes_inside_units",
-	"bytes_across_units", "avg_route_links", "st_occupancy_max",
-	"st_occupancy_mean", "overflowed_fraction", "error"}
+	"cores_per_unit", "memory", "mem_model", "link_latency_ps", "st_entries",
+	"seed", "makespan_ps", "ops", "ops_per_ms", "mops_per_sec",
+	"cache_energy_pj", "network_energy_pj", "memory_energy_pj",
+	"row_hit_rate", "bytes_inside_units", "bytes_across_units",
+	"avg_route_links", "st_occupancy_max", "st_occupancy_mean",
+	"overflowed_fraction", "error"}
 
 // WriteCSV emits results as one flat CSV row per run.
 func WriteCSV(w io.Writer, results []RunResult) error {
@@ -656,11 +670,12 @@ func WriteCSV(w io.Writer, results []RunResult) error {
 		row := []string{
 			r.Spec.Workload, string(r.Kind), string(cfg.Scheme), string(cfg.Topology),
 			strconv.Itoa(cfg.Units), strconv.Itoa(cfg.CoresPerUnit),
-			cfg.Memory.String(), strconv.FormatInt(int64(cfg.LinkLatency), 10),
+			cfg.Memory.String(), string(cfg.MemModel),
+			strconv.FormatInt(int64(cfg.LinkLatency), 10),
 			strconv.Itoa(cfg.STEntries), strconv.FormatUint(r.Seed, 10),
 			strconv.FormatInt(int64(r.Makespan), 10), strconv.FormatUint(r.Ops, 10),
 			f(r.OpsPerMs), f(r.MopsPerSec), f(r.CacheEnergyPJ), f(r.NetworkEnergyPJ),
-			f(r.MemoryEnergyPJ), strconv.FormatUint(r.BytesInsideUnits, 10),
+			f(r.MemoryEnergyPJ), f(r.RowHitRate), strconv.FormatUint(r.BytesInsideUnits, 10),
 			strconv.FormatUint(r.BytesAcrossUnits, 10), f(r.AvgRouteLinks),
 			f(r.STOccupancyMax), f(r.STOccupancyMean), f(r.OverflowedFraction), r.Err,
 		}

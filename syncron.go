@@ -41,7 +41,8 @@
 //     sweep results into the paper's evaluation views — speedup over a
 //     baseline scheme with geomean aggregation per workload family, scaling
 //     curves, energy and data-movement breakdowns, ST occupancy/overflow
-//     ablations, and interconnect-topology sensitivity.
+//     ablations, interconnect-topology sensitivity (TopologySensitivity),
+//     and DRAM-model sensitivity (MemSensitivity).
 //
 // The syncron-sim command exposes all three (run, sweep, figures, list);
 // see ARCHITECTURE.md for how an operation flows through the simulator.
@@ -158,6 +159,37 @@ func ParseMemory(name string) (MemoryTech, error) {
 	return HBM, fmt.Errorf("syncron: unknown memory technology %q", name)
 }
 
+// MemModel selects the DRAM timing model (internal/mem's models). Like the
+// topology, the memory model is a sensitivity axis: MemModelFlat is the
+// golden-pinned first-order model, MemModelBank adds per-bank row-buffer
+// timing, a bounded per-bank queue, and a per-command energy split.
+type MemModel = mem.Model
+
+// DRAM timing models.
+const (
+	// MemModelFlat charges every access a fixed technology latency on its
+	// interleaved channel (the default).
+	MemModelFlat = mem.ModelFlat
+	// MemModelBank tracks open rows per bank: row hits pay only the column
+	// access, misses pay precharge/activate penalties.
+	MemModelBank = mem.ModelBank
+)
+
+// MemModels returns every DRAM timing model in documentation order.
+func MemModels() []MemModel { return mem.Models() }
+
+// ParseMemModel resolves a memory-model name (flat, bank); the empty string
+// means MemModelFlat.
+func ParseMemModel(name string) (MemModel, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "flat", "":
+		return MemModelFlat, nil
+	case "bank":
+		return MemModelBank, nil
+	}
+	return MemModelFlat, fmt.Errorf("syncron: unknown memory model %q", name)
+}
+
 // OverflowPolicy selects what happens when a Synchronization Table fills up
 // (§6.7.3).
 type OverflowPolicy = core.OverflowPolicy
@@ -192,6 +224,8 @@ type Config struct {
 	CoresPerUnit int `json:"cores_per_unit,omitempty"`
 	// Memory selects the memory technology (default HBM).
 	Memory MemoryTech `json:"memory,omitempty"`
+	// MemModel selects the DRAM timing model (default MemModelFlat).
+	MemModel MemModel `json:"mem_model,omitempty"`
 	// Topology selects the inter-unit interconnect (default TopoAllToAll).
 	Topology Topology `json:"topology,omitempty"`
 	// LinkLatency overrides the inter-unit transfer latency per cache line
@@ -305,6 +339,12 @@ func New(opts ...Option) *System {
 	}
 	acfg.Topology = topo
 	cfg.Topology = topo
+	mmodel, err := ParseMemModel(string(cfg.MemModel))
+	if err != nil {
+		panic(err)
+	}
+	acfg.MemModel = mmodel
+	cfg.MemModel = mmodel
 	acfg.LinkLatency = cfg.LinkLatency
 	acfg.Parallelism = resolveParallelism(cfg.Parallelism,
 		acfg.Units+acfg.Units*acfg.CoresPerUnit)
@@ -396,6 +436,9 @@ type Report struct {
 	// AvgRouteLinks is the mean number of inter-unit links a cross-unit
 	// message traversed (1 on the all-to-all topology, 0 if none crossed).
 	AvgRouteLinks float64
+	// RowHitRate is the fraction of DRAM accesses that hit an open row
+	// buffer. Always 0 under the flat memory model (which has no row state).
+	RowHitRate float64
 	// SynCron-specific statistics (zero for other schemes).
 	STOccupancyMax, STOccupancyMean, OverflowedFraction float64
 	// Events is the number of discrete-event engine events executed by the
@@ -427,6 +470,7 @@ func (s *System) Run() Report {
 	}
 	rep.BytesInsideUnits, rep.BytesAcrossUnits = s.m.DataMovement()
 	rep.AvgRouteLinks = s.m.Net.Stats.AvgRouteLinks()
+	rep.RowHitRate = s.m.RowHitRate()
 	if bs, ok := s.m.Backend.(arch.BackendStats); ok {
 		rep.STOccupancyMax, rep.STOccupancyMean = bs.STOccupancy()
 		rep.OverflowedFraction = bs.OverflowedFraction()

@@ -10,7 +10,8 @@ import (
 // simulated picoseconds, the component it is about (Where), the metric name
 // (What), and a value with its unit. See internal/trace for the full schema
 // and the built-in What values (queue_depth, dispatched, link_xfer,
-// lock_wait, lock_hold, barrier_wait, sem_wait, cond_wait).
+// lock_wait, lock_hold, barrier_wait, sem_wait, cond_wait, and — under the
+// bank DRAM model — bank_busy, row_hit, row_miss).
 type TraceRecord = trace.Record
 
 // Tracer receives trace records from a run. Attach one with WithTracer (or
